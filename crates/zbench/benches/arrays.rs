@@ -1,0 +1,74 @@
+//! Per-array access throughput under a miss-heavy stream: what the
+//! different organizations cost the *simulator* per access. (Hardware
+//! costs are the `zenergy` model's job; this bench keeps the simulation
+//! substrate honest.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zcache_core::{ArrayKind, CacheBuilder, DynCache, PolicyKind};
+use zhash::HashKind;
+use zworkloads::{AddressStream, Component, CoreSpec, Workload};
+
+fn make_cache(kind: ArrayKind) -> DynCache {
+    CacheBuilder::new()
+        .lines(4096)
+        .ways(4.max(match kind {
+            ArrayKind::SetAssoc { .. } => 4,
+            _ => 4,
+        }))
+        .array(kind)
+        .policy(PolicyKind::Lru)
+        .seed(1)
+        .build()
+}
+
+fn refs(n: usize) -> Vec<u64> {
+    let wl = Workload::uniform(
+        "bench",
+        CoreSpec::new(
+            vec![(
+                1.0,
+                Component::Zipf {
+                    lines: 16_384,
+                    s: 0.8,
+                },
+            )],
+            0.0,
+            1,
+        ),
+    );
+    let mut s = wl.streams(1, 9).remove(0);
+    (0..n).map(|_| s.next_ref().line).collect()
+}
+
+fn bench_arrays(c: &mut Criterion) {
+    let kinds = [
+        ("setassoc-h3", ArrayKind::SetAssoc { hash: HashKind::H3 }),
+        ("skew", ArrayKind::Skew),
+        ("zcache-l2", ArrayKind::ZCache { levels: 2 }),
+        ("zcache-l3", ArrayKind::ZCache { levels: 3 }),
+        ("random16", ArrayKind::RandomCands { n: 16 }),
+    ];
+    let stream = refs(4096);
+    let mut group = c.benchmark_group("array_access");
+    for (name, kind) in kinds {
+        group.bench_function(name, |b| {
+            // Pre-warm once so steady-state (full-cache) behaviour is
+            // measured, walks included.
+            let mut cache = make_cache(kind);
+            for &a in &stream {
+                cache.access(a);
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &a in &stream {
+                    acc += u64::from(cache.access(black_box(a)).hit);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrays);
+criterion_main!(benches);

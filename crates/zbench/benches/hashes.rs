@@ -1,0 +1,46 @@
+//! Hash-function throughput: H3 (the paper's choice) vs bit selection vs
+//! the full-avalanche mixer. H3's XOR-tree cost is the per-way indexing
+//! price every lookup and walk step pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zhash::{BitSelect, H3Hash, Hasher64, Mix64};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash64");
+    let h3 = H3Hash::new(1);
+    let mix = Mix64::new(1);
+    let bitsel = BitSelect;
+    let inputs: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+
+    group.bench_function("h3", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc ^= h3.index(black_box(x), 14);
+            }
+            acc
+        })
+    });
+    group.bench_function("mix64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc ^= mix.index(black_box(x), 14);
+            }
+            acc
+        })
+    });
+    group.bench_function("bitsel", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc ^= bitsel.index(black_box(x), 14);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Replacement-policy overhead on a zcache under a fixed miss-heavy
+//! stream: full LRU (wide timestamps) vs the paper's bucketed LRU vs
+//! RRIP vs random.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zcache_core::{ArrayKind, CacheBuilder, PolicyKind};
+use zworkloads::{AddressStream, Component, CoreSpec, Workload};
+
+fn bench_policies(c: &mut Criterion) {
+    let policies = [
+        ("full-lru", PolicyKind::Lru),
+        ("bucketed-lru", PolicyKind::BucketedLru { bits: 8, k: 204 }),
+        ("lfu", PolicyKind::Lfu),
+        ("random", PolicyKind::Random),
+        ("rrip", PolicyKind::Rrip),
+    ];
+    let wl = Workload::uniform(
+        "bench",
+        CoreSpec::new(
+            vec![(
+                1.0,
+                Component::Zipf {
+                    lines: 16_384,
+                    s: 0.7,
+                },
+            )],
+            0.0,
+            1,
+        ),
+    );
+    let mut s = wl.streams(1, 5).remove(0);
+    let stream: Vec<u64> = (0..4096).map(|_| s.next_ref().line).collect();
+
+    let mut group = c.benchmark_group("policy_on_z452");
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            let mut cache = CacheBuilder::new()
+                .lines(4096)
+                .ways(4)
+                .array(ArrayKind::ZCache { levels: 3 })
+                .policy(policy)
+                .seed(3)
+                .build();
+            for &a in &stream {
+                cache.access(a); // warm to steady state
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &a in &stream {
+                    acc += u64::from(cache.access(black_box(a)).hit);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table II — timing, area and power of set-associative caches and
+//! zcaches (regenerated from the `zenergy` model).
+
+use crate::format_table;
+use zenergy::{table2, Table2Row};
+
+/// Computes the Table II rows.
+pub fn run() -> Vec<Table2Row> {
+    table2()
+}
+
+/// Renders Table II, including the ratio columns the paper quotes in the
+/// text (each design vs the 4-way set-associative cache of the same
+/// lookup mode).
+pub fn report(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "Table II — 8MB L2 designs (32nm-calibrated model; ratios vs SA-4, same lookup)\n\n",
+    );
+    let headers = [
+        "design",
+        "lookup",
+        "R",
+        "lat(cyc)",
+        "E_hit(nJ)",
+        "E_miss(nJ)",
+        "area(mm2)",
+        "lat/SA4",
+        "Ehit/SA4",
+    ];
+    let mut body = Vec::new();
+    for lookup_rows in rows.chunk_by(|a, b| a.lookup == b.lookup) {
+        let base = lookup_rows
+            .iter()
+            .find(|r| r.label == "SA-4")
+            .expect("SA-4 present per lookup mode");
+        for r in lookup_rows {
+            body.push(vec![
+                r.label.clone(),
+                r.lookup.to_string(),
+                r.cost.candidates.to_string(),
+                r.cost.hit_latency_cycles.to_string(),
+                format!("{:.3}", r.cost.hit_energy_nj),
+                format!("{:.3}", r.cost.miss_energy_nj),
+                format!("{:.1}", r.cost.area_mm2),
+                format!(
+                    "{:.2}",
+                    f64::from(r.cost.hit_latency_cycles) / f64::from(base.cost.hit_latency_cycles)
+                ),
+                format!("{:.2}", r.cost.hit_energy_nj / base.cost.hit_energy_nj),
+            ]);
+        }
+    }
+    out.push_str(&format_table(&headers, &body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_headline_designs() {
+        let r = report(&run());
+        for label in ["SA-4", "SA-32", "Z4/16", "Z4/52"] {
+            assert!(r.contains(label), "missing {label}");
+        }
+        assert!(r.contains("serial"));
+        assert!(r.contains("parallel"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Experiment harness regenerating every table and figure of the zcache
+//! paper.
+//!
+//! Each `exp_*` module regenerates one artifact of the evaluation:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`exp_fig2`] | Fig. 2 — associativity CDFs under the uniformity assumption, validated with the random-candidates cache |
+//! | [`exp_fig3`] | Fig. 3 — associativity distributions of real arrays (SA, SA+hash, skew, zcache) |
+//! | [`exp_table2`] | Table II — timing/area/power across designs |
+//! | [`exp_fig4`] | Fig. 4 — L2 MPKI and IPC improvements over the 4-way SA+hash baseline, OPT and LRU |
+//! | [`exp_fig5`] | Fig. 5 — IPC and BIPS/W for serial/parallel lookups |
+//! | [`exp_bandwidth`] | §VI-D — tag-array bandwidth and self-throttling |
+//! | [`exp_ablate`] | DESIGN.md ablations — walk strategy, early stop, Bloom dedup, bucketed-LRU parameters |
+//! | [`exp_adaptive`] | §VIII future work — adaptive walk throttling |
+//! | [`exp_conflicts`] | §IV conflict-miss decomposition vs fully-associative |
+//!
+//! The `zbench` binary exposes one subcommand per module; library entry
+//! points return structured results so integration tests can assert the
+//! paper's headline claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_ablate;
+pub mod exp_adaptive;
+pub mod exp_bandwidth;
+pub mod exp_conflicts;
+pub mod exp_fig2;
+pub mod exp_fig3;
+pub mod exp_fig4;
+pub mod exp_fig5;
+pub mod exp_table2;
+pub mod exp_trace;
+pub mod opts;
+
+/// Geometric mean of positive values; 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert!((zbench::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(zbench::geomean(&[]), 0.0);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a table of rows with right-aligned numeric columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn format_table_aligns() {
+        let t = format_table(
+            &["name", "val"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("a"));
+        assert!(lines[3].contains("longer"));
+    }
+}

@@ -1,0 +1,263 @@
+//! `zbench` — regenerate every table and figure of the zcache paper.
+//!
+//! ```text
+//! zbench <command> [options]
+//!
+//! Commands:
+//!   table1      Print the simulated machine configuration (Table I)
+//!   table2      Cache timing/area/power across designs (Table II)
+//!   fig2        Associativity CDFs under the uniformity assumption
+//!   fig3        Associativity distributions of real designs (4 panels)
+//!   fig4        MPKI/IPC improvements vs baseline (--policy lru|opt)
+//!   fig5        IPC and BIPS/W, serial vs parallel lookups
+//!   bandwidth   §VI-D tag-bandwidth / self-throttling study
+//!   ablate      Design-choice ablations (walk order, early stop, …)
+//!   adaptive    §VIII adaptive walk throttling (future work)
+//!   conflicts   §IV conflict-miss decomposition vs fully-associative
+//!   trace       Run a trace file (zworkloads::trace_io format) through the lineup
+//!   dumptrace   Record a workload's L2 stream and export it as a trace file
+//!   all         Everything above
+//!
+//! Options:
+//!   --scale small|paper     cache scale (default small)
+//!   --cores N               simulated cores (default 32)
+//!   --instrs N              instructions per core (default 100000)
+//!   --workloads N           limit to first N workloads
+//!   --policy lru|opt        policy for fig4/fig5 (default both)
+//!   --seed N                RNG seed (default 1)
+//! ```
+
+use zbench::opts::ExpOpts;
+use zbench::{
+    exp_ablate, exp_adaptive, exp_bandwidth, exp_conflicts, exp_fig2, exp_fig3, exp_fig4, exp_fig5,
+    exp_table2,
+};
+use zcache_core::PolicyKind;
+use zworkloads::suite::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!(
+            "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|all> [options]"
+        );
+        std::process::exit(2);
+    };
+
+    let mut opts = ExpOpts::quick();
+    let mut policy_filter: Option<PolicyKind> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !flag.starts_with("--") {
+            positional.push(flag.to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).cloned();
+        let take = |name: &str| -> String {
+            value.clone().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--scale" => {
+                opts.scale = match take("--scale").as_str() {
+                    "small" => Scale::SMALL,
+                    "paper" => Scale::PAPER,
+                    other => {
+                        eprintln!("unknown scale {other:?} (small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--cores" => {
+                opts.cores = take("--cores").parse().expect("--cores: integer");
+                i += 2;
+            }
+            "--instrs" => {
+                opts.instrs_per_core = take("--instrs").parse().expect("--instrs: integer");
+                i += 2;
+            }
+            "--workloads" => {
+                opts.max_workloads =
+                    Some(take("--workloads").parse().expect("--workloads: integer"));
+                i += 2;
+            }
+            "--policy" => {
+                policy_filter = Some(match take("--policy").as_str() {
+                    "lru" => PolicyKind::Lru,
+                    "opt" => PolicyKind::Opt,
+                    other => {
+                        eprintln!("unknown policy {other:?} (lru|opt)");
+                        std::process::exit(2);
+                    }
+                });
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = take("--seed").parse().expect("--seed: integer");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match command.as_str() {
+        "table1" => table1(&opts),
+        "table2" => println!("{}", exp_table2::report(&exp_table2::run())),
+        "fig2" => println!(
+            "{}",
+            exp_fig2::report(&exp_fig2::default_run(opts.scale, opts.seed))
+        ),
+        "fig3" => {
+            for panel in exp_fig3::Fig3Panel::all() {
+                let rows = exp_fig3::run(panel, &opts);
+                println!("{}", exp_fig3::report(panel, &rows));
+            }
+        }
+        "fig4" => {
+            for policy in policies(policy_filter) {
+                let res = exp_fig4::run(policy, &opts);
+                println!("{}", exp_fig4::report(&res));
+            }
+        }
+        "fig5" => {
+            for policy in policies(policy_filter) {
+                let res = exp_fig5::run(policy, &opts);
+                println!("{}", exp_fig5::report(&res));
+            }
+        }
+        "bandwidth" => println!("{}", exp_bandwidth::report(&exp_bandwidth::run(&opts))),
+        "ablate" => println!("{}", exp_ablate::report(&exp_ablate::run(&opts))),
+        "adaptive" => println!("{}", exp_adaptive::report(&exp_adaptive::run(&opts))),
+        "conflicts" => println!("{}", exp_conflicts::report(&exp_conflicts::run(&opts))),
+        "dumptrace" => {
+            // Record a workload's L2 reference stream and export it in
+            // the trace_io format, so it can be replayed (`zbench trace`)
+            // or fed to other simulators.
+            let (Some(name), Some(path)) = (positional.first(), positional.get(1)) else {
+                eprintln!("usage: zbench dumptrace <workload> <file> [--cores N --instrs N]");
+                std::process::exit(2);
+            };
+            let Some(wl) = zworkloads::suite::by_name(name, opts.cores as usize, opts.scale) else {
+                eprintln!("unknown workload {name:?}");
+                std::process::exit(2);
+            };
+            let trace = zsim::trace::record_trace(&opts.sim_config(), &wl);
+            let refs: Vec<zworkloads::MemRef> = trace
+                .refs
+                .iter()
+                .map(|r| zworkloads::MemRef {
+                    line: r.line,
+                    write: r.write,
+                    gap: r.work.max(1),
+                })
+                .collect();
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            zworkloads::trace_io::write_trace(std::io::BufWriter::new(file), &refs).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                },
+            );
+            println!(
+                "wrote {} references ({} instructions recorded) to {path}",
+                refs.len(),
+                trace.instructions
+            );
+        }
+        "trace" => {
+            let path = positional.first().cloned().unwrap_or_else(|| {
+                eprintln!("usage: zbench trace <file> [--scale small|paper]");
+                std::process::exit(2);
+            });
+            let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(2);
+            });
+            let refs = zworkloads::trace_io::read_trace(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(2);
+                });
+            let lines = opts.scale.l2_lines / 8;
+            let rows = zbench::exp_trace::run(&refs, lines, opts.seed);
+            println!("{}", zbench::exp_trace::report(&rows, refs.len(), lines));
+        }
+        "all" => {
+            table1(&opts);
+            println!("{}", exp_table2::report(&exp_table2::run()));
+            println!(
+                "{}",
+                exp_fig2::report(&exp_fig2::default_run(opts.scale, opts.seed))
+            );
+            for panel in exp_fig3::Fig3Panel::all() {
+                let rows = exp_fig3::run(panel, &opts);
+                println!("{}", exp_fig3::report(panel, &rows));
+            }
+            for policy in policies(policy_filter) {
+                println!("{}", exp_fig4::report(&exp_fig4::run(policy, &opts)));
+                println!("{}", exp_fig5::report(&exp_fig5::run(policy, &opts)));
+            }
+            println!("{}", exp_bandwidth::report(&exp_bandwidth::run(&opts)));
+            println!("{}", exp_ablate::report(&exp_ablate::run(&opts)));
+            println!("{}", exp_adaptive::report(&exp_adaptive::run(&opts)));
+            println!("{}", exp_conflicts::report(&exp_conflicts::run(&opts)));
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn policies(filter: Option<PolicyKind>) -> Vec<PolicyKind> {
+    match filter {
+        Some(p) => vec![p],
+        None => vec![PolicyKind::Opt, PolicyKind::Lru],
+    }
+}
+
+fn table1(opts: &ExpOpts) {
+    let cfg = opts.sim_config();
+    println!("Table I — simulated CMP configuration\n");
+    println!(
+        "  cores               {} in-order x86-like, IPC=1 except memory, 2 GHz",
+        cfg.cores
+    );
+    println!(
+        "  L1 caches           {} KB, {}-way set-associative, 1-cycle latency",
+        cfg.l1_lines * 64 / 1024,
+        cfg.l1_ways
+    );
+    println!(
+        "  L2 cache            {} MB, {} banks, shared, inclusive, MESI directory,",
+        cfg.l2_lines * 64 / 1024 / 1024,
+        cfg.l2_banks
+    );
+    println!(
+        "                      {}-cycle avg L1-to-L2 latency, {}-cycle bank latency ({})",
+        cfg.l1_to_l2_latency,
+        cfg.effective_l2_latency(),
+        cfg.l2.label()
+    );
+    println!(
+        "  MCU                 {} memory controllers, {}-cycle zero-load latency,",
+        cfg.mem_controllers, cfg.mem_latency
+    );
+    println!(
+        "                      {} cycles/64B transfer (64 GB/s peak at paper scale)",
+        cfg.mem_cycles_per_transfer
+    );
+    println!();
+}

@@ -1,0 +1,366 @@
+//! Adaptive associativity (the paper's §VIII future work).
+//!
+//! "Since the zcache makes it trivial to increase or reduce associativity
+//! with the same hardware design, it would be interesting to explore
+//! adaptive replacement schemes that use the high associativity only when
+//! it improves performance, saving cache bandwidth and energy when high
+//! associativity is not needed."
+//!
+//! [`AdaptiveZCache`] implements that scheme with *shadow-tag dueling*
+//! (the sampling idea behind set dueling / utility monitors): two small
+//! shadow tag arrays — one at the minimum walk (skew-associative), one at
+//! the full walk — observe a hash-sampled slice of the access stream and
+//! run the same replacement policy as the main cache. The difference in
+//! their miss counts measures exactly what the extra replacement
+//! candidates are worth on the current phase; the main cache's walk
+//! budget follows that measurement. Counters age geometrically so the
+//! duel tracks phase changes without drowning in per-window noise.
+
+use crate::array::{CacheArray, ZArray};
+use crate::cache::Cache;
+use crate::repl::ReplacementPolicy;
+use crate::replacement_candidates;
+use crate::types::LineAddr;
+use zhash::{Hasher64, Mix64};
+
+/// Tuning knobs for [`AdaptiveZCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Sampled accesses between budget re-evaluations.
+    pub window: u64,
+    /// Windows between counter halvings (phase aging).
+    pub age_period: u32,
+    /// Use the full budget when the deep shadow's miss rate beats the
+    /// shallow shadow's by more than this fraction of sampled accesses;
+    /// fall to the two-level budget above a quarter of it, and to the
+    /// skew-associative floor below that.
+    pub benefit_threshold: f64,
+    /// Address-sampling ratio: 1-in-`2^sample_shift` accesses feed the
+    /// shadows, whose arrays shrink by the same factor so their pressure
+    /// matches the main cache's.
+    pub sample_shift: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            window: 1024,
+            age_period: 16,
+            benefit_threshold: 0.005,
+            sample_shift: 5, // 1 in 32
+        }
+    }
+}
+
+/// An adaptive-walk zcache: a [`Cache`] over a [`ZArray`] whose
+/// candidate budget follows a shadow-tag duel between the minimum and
+/// the maximum walk depth.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::{AdaptiveConfig, AdaptiveZCache, FullLru, ZArray};
+///
+/// let array = ZArray::new(1 << 12, 4, 3, 1); // up to 52 candidates
+/// let mut cache = AdaptiveZCache::new(array, FullLru::new, AdaptiveConfig::default());
+/// for addr in 0..50_000u64 {
+///     cache.access(addr % 20_000);
+/// }
+/// assert!(cache.current_budget() >= 4 && cache.current_budget() <= 52);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveZCache<P> {
+    inner: Cache<ZArray, P>,
+    cfg: AdaptiveConfig,
+    shadow_shallow: Cache<ZArray, P>,
+    shadow_deep: Cache<ZArray, P>,
+    sampler: Mix64,
+    sample_mask: u64,
+    min_budget: u32,
+    mid_budget: u32,
+    max_budget: u32,
+    budget: u32,
+    window_samples: u64,
+    windows_since_age: u32,
+    // Aged duel counters.
+    acc_samples: f64,
+    acc_shallow: f64,
+    acc_deep: f64,
+    prev_shallow_misses: u64,
+    prev_deep_misses: u64,
+    adaptations: u64,
+}
+
+impl<P: ReplacementPolicy> AdaptiveZCache<P> {
+    /// Wraps an array with an adaptive controller; `make_policy` builds
+    /// the replacement policy for a given frame count (used for the main
+    /// cache and both shadows, so the duel reflects the real policy).
+    ///
+    /// The budget starts at the full configured depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has fewer than `4 × ways` frames (too small
+    /// to derive shadow arrays).
+    pub fn new<F: Fn(u64) -> P>(array: ZArray, make_policy: F, cfg: AdaptiveConfig) -> Self {
+        let ways = array.ways();
+        let levels = array.levels();
+        let max_budget = replacement_candidates(ways, levels).min(u64::from(u32::MAX)) as u32;
+        let mid_budget =
+            replacement_candidates(ways, 2.min(levels)).min(u64::from(max_budget)) as u32;
+        let lines = array.lines();
+        assert!(
+            lines >= 4 * u64::from(ways),
+            "array too small for shadow sampling"
+        );
+
+        // Shadow arrays: the main geometry scaled down by the sampling
+        // ratio. Arrays below ~16 rows/way behave erratically (walks
+        // cover most of the array, repeats dominate), so the sampling
+        // shift is clamped to keep the shadows at least that big.
+        let max_shift = (lines / (u64::from(ways) * 16)).max(1).ilog2();
+        let shift = cfg.sample_shift.min(max_shift);
+        let shadow_rows = (lines >> shift) / u64::from(ways);
+        let shadow_rows = shadow_rows.next_power_of_two().max(4);
+        let shadow_lines = shadow_rows * u64::from(ways);
+        let shadow_shallow = Cache::new(
+            ZArray::new(shadow_lines, ways, 1, 0x0005_1ad0),
+            make_policy(shadow_lines),
+        );
+        let shadow_deep = Cache::new(
+            ZArray::new(shadow_lines, ways, levels, 0x0005_1ad1),
+            make_policy(shadow_lines),
+        );
+
+        Self {
+            inner: Cache::new(array, make_policy(lines)),
+            cfg,
+            shadow_shallow,
+            shadow_deep,
+            sampler: Mix64::new(0xadae_717e),
+            sample_mask: (1u64 << shift) - 1,
+            min_budget: ways,
+            mid_budget,
+            max_budget,
+            budget: max_budget,
+            window_samples: 0,
+            windows_since_age: 0,
+            acc_samples: 0.0,
+            acc_shallow: 0.0,
+            acc_deep: 0.0,
+            prev_shallow_misses: 0,
+            prev_deep_misses: 0,
+            adaptations: 0,
+        }
+    }
+
+    /// Performs one access, re-evaluating the walk budget at window
+    /// boundaries.
+    pub fn access(&mut self, addr: LineAddr) -> crate::cache::AccessOutcome {
+        if self.sampler.hash(addr) & self.sample_mask == 0 {
+            self.shadow_shallow.access(addr);
+            self.shadow_deep.access(addr);
+            self.window_samples += 1;
+            if self.window_samples >= self.cfg.window {
+                self.decide();
+            }
+        }
+        self.inner.access(addr)
+    }
+
+    fn decide(&mut self) {
+        let shallow = self.shadow_shallow.stats().misses - self.prev_shallow_misses;
+        let deep = self.shadow_deep.stats().misses - self.prev_deep_misses;
+        self.prev_shallow_misses = self.shadow_shallow.stats().misses;
+        self.prev_deep_misses = self.shadow_deep.stats().misses;
+
+        self.acc_samples += self.window_samples as f64;
+        self.acc_shallow += shallow as f64;
+        self.acc_deep += deep as f64;
+        self.window_samples = 0;
+
+        // Age the counters so old phases fade.
+        self.windows_since_age += 1;
+        if self.windows_since_age >= self.cfg.age_period {
+            self.acc_samples /= 2.0;
+            self.acc_shallow /= 2.0;
+            self.acc_deep /= 2.0;
+            self.windows_since_age = 0;
+        }
+
+        let benefit = (self.acc_shallow - self.acc_deep) / self.acc_samples.max(1.0);
+        let target = if benefit > self.cfg.benefit_threshold {
+            self.max_budget
+        } else if benefit > self.cfg.benefit_threshold / 4.0 {
+            self.mid_budget
+        } else {
+            self.min_budget
+        };
+        if target != self.budget {
+            self.budget = target;
+            self.inner.array_mut().set_max_candidates(target);
+            self.adaptations += 1;
+        }
+    }
+
+    /// The current candidate budget.
+    pub fn current_budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Number of budget changes performed.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// The wrapped cache (for statistics).
+    pub fn cache(&self) -> &Cache<ZArray, P> {
+        &self.inner
+    }
+
+    /// Shadow miss counts so far, `(shallow, deep)` — diagnostics.
+    pub fn shadow_misses(&self) -> (u64, u64) {
+        (
+            self.shadow_shallow.stats().misses,
+            self.shadow_deep.stats().misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repl::{FullLru, Rrip};
+    use zhash::SplitMix64;
+
+    fn adaptive_lru(lines: u64) -> AdaptiveZCache<FullLru> {
+        AdaptiveZCache::new(
+            ZArray::new(lines, 4, 3, 1),
+            FullLru::new,
+            AdaptiveConfig {
+                window: 256,
+                ..AdaptiveConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn budget_stays_in_bounds() {
+        let mut c = adaptive_lru(1024);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100_000 {
+            c.access(rng.next_below(8192));
+            assert!(c.current_budget() >= 4);
+            assert!(c.current_budget() <= 52);
+        }
+    }
+
+    #[test]
+    fn no_reuse_stream_throttles_to_minimum() {
+        // Blocks are referenced exactly once: every victim is equally
+        // worthless, the duel measures zero benefit, and the walk
+        // collapses to the skew-associative floor.
+        let mut c = adaptive_lru(1024);
+        for addr in 0..400_000u64 {
+            c.access(addr);
+        }
+        assert_eq!(c.current_budget(), 4, "no-reuse stream must throttle");
+    }
+
+    #[test]
+    fn saves_tag_bandwidth_versus_fixed_walk_on_stream() {
+        let mut fixed = Cache::new(ZArray::new(1024, 4, 3, 1), FullLru::new(1024));
+        let mut adap = adaptive_lru(1024);
+        for addr in 0..200_000u64 {
+            fixed.access(addr);
+            adap.access(addr);
+        }
+        assert_eq!(fixed.stats().misses, adap.cache().stats().misses);
+        assert!(
+            (adap.cache().stats().tag_reads as f64) < fixed.stats().tag_reads as f64 * 0.5,
+            "adaptive {} vs fixed {} tag reads",
+            adap.cache().stats().tag_reads,
+            fixed.stats().tag_reads
+        );
+    }
+
+    /// Hot set + one-shot scan: RRIP protects the hot set much better
+    /// with deep walks (it needs to *find* a distant-rrpv scan block
+    /// among the candidates), so the duel measures a solid benefit.
+    fn hot_scan(rng: &mut SplitMix64, i: u64) -> u64 {
+        if rng.next_f64() < 0.6 {
+            rng.next_below(700)
+        } else {
+            1_000_000 + i
+        }
+    }
+
+    #[test]
+    fn measured_benefit_keeps_walk_deep_under_rrip() {
+        let mut c = AdaptiveZCache::new(
+            ZArray::new(1024, 4, 3, 1),
+            Rrip::new,
+            AdaptiveConfig {
+                window: 512,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let mut rng = SplitMix64::new(7);
+        let mut deep_checks = 0u64;
+        let mut checks = 0u64;
+        for i in 0..600_000u64 {
+            c.access(hot_scan(&mut rng, i));
+            if i > 100_000 && i % 1_000 == 0 {
+                checks += 1;
+                if c.current_budget() > 4 {
+                    deep_checks += 1;
+                }
+            }
+        }
+        let (shallow, deep) = c.shadow_misses();
+        assert!(
+            deep < shallow,
+            "deep shadow should miss less ({deep} vs {shallow})"
+        );
+        assert!(
+            deep_checks * 3 > checks * 2,
+            "budget should stay deep most of the run ({deep_checks}/{checks})"
+        );
+    }
+
+    #[test]
+    fn adaptive_miss_rate_tracks_the_better_shadow() {
+        // Whatever the workload, the adaptive cache must land close to
+        // the better fixed configuration.
+        let mut fixed_deep = Cache::new(ZArray::new(1024, 4, 3, 1), Rrip::new(1024));
+        let mut adap = AdaptiveZCache::new(
+            ZArray::new(1024, 4, 3, 1),
+            Rrip::new,
+            AdaptiveConfig {
+                window: 512,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        for i in 0..400_000u64 {
+            fixed_deep.access(hot_scan(&mut r1, i));
+            adap.access(hot_scan(&mut r2, i));
+        }
+        let (a, d) = (
+            adap.cache().stats().miss_rate(),
+            fixed_deep.stats().miss_rate(),
+        );
+        assert!(a <= d * 1.05, "adaptive {a} far above fixed deep {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for shadow sampling")]
+    fn tiny_array_panics() {
+        let _ = AdaptiveZCache::new(
+            ZArray::new(8, 4, 3, 1),
+            FullLru::new,
+            AdaptiveConfig::default(),
+        );
+    }
+}

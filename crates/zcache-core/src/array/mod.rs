@@ -1,0 +1,328 @@
+//! Cache array organizations.
+//!
+//! An array holds tags, implements associative lookup, and — the part the
+//! paper cares about — produces a set of *replacement candidates* on a
+//! miss. The five organizations match §II–§III of the paper:
+//!
+//! * [`SetAssocArray`] — conventional set-associative, optionally with a
+//!   hashed index.
+//! * [`SkewArray`] — skew-associative (Seznec): one hash function per way;
+//!   candidates are the `W` first-level locations.
+//! * [`ZArray`] — the zcache: same lookup as skew, but a multi-level BFS
+//!   walk over the candidate tree yields up to `W·Σ(W−1)^l` candidates,
+//!   and installs perform relocations along the victim's path.
+//! * [`FullyAssocArray`] — every block is a candidate (the associativity
+//!   reference point).
+//! * [`RandomCandsArray`] — the §IV-B *random candidates cache*: `n`
+//!   uniformly random candidates, which meets the uniformity assumption by
+//!   construction.
+
+mod fully;
+mod random_cands;
+mod setassoc;
+mod skew;
+mod walk;
+mod zarray;
+
+pub use fully::FullyAssocArray;
+pub use random_cands::RandomCandsArray;
+pub use setassoc::SetAssocArray;
+pub use skew::SkewArray;
+pub use walk::{replacement_candidates, WalkKind, WalkStats};
+pub use zarray::{WalkNodeInfo, ZArray};
+
+use crate::types::{LineAddr, SlotId};
+use zhash::HashKind;
+
+/// One replacement candidate returned by [`CacheArray::candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The frame that would be vacated.
+    pub slot: SlotId,
+    /// The block currently in that frame; `None` if the frame is empty
+    /// (an empty frame is always the preferred "victim").
+    pub addr: Option<LineAddr>,
+    /// Array-private handle (for [`ZArray`], the walk-tree node index) that
+    /// [`CacheArray::install`] uses to reconstruct the relocation path.
+    pub token: u32,
+}
+
+/// Reusable buffer of replacement candidates for one miss.
+///
+/// Owned by the caller and cleared by [`CacheArray::candidates`], so the
+/// hot path performs no per-miss allocation after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    items: Vec<Candidate>,
+    /// Walk levels used to produce this set (1 for non-walking arrays).
+    pub levels: u32,
+    /// Tag reads performed to produce this set (the paper's `R`).
+    pub tag_reads: u32,
+}
+
+impl CandidateSet {
+    /// Creates an empty candidate set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the buffer for reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.levels = 0;
+        self.tag_reads = 0;
+    }
+
+    /// Adds a candidate.
+    pub fn push(&mut self, c: Candidate) {
+        self.items.push(c);
+    }
+
+    /// The candidates gathered so far.
+    pub fn as_slice(&self) -> &[Candidate] {
+        &self.items
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no candidates were gathered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// First candidate whose frame is empty, if any.
+    pub fn first_empty(&self) -> Option<&Candidate> {
+        self.items.iter().find(|c| c.addr.is_none())
+    }
+}
+
+/// Result of installing a block, including relocation bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstallOutcome {
+    /// Block evicted to make room, if the victim frame was occupied.
+    pub evicted: Option<LineAddr>,
+    /// Frame the evicted block vacated (valid when `evicted` is `Some`).
+    pub evicted_slot: Option<SlotId>,
+    /// Frame the incoming block landed in (after relocations).
+    pub filled_slot: SlotId,
+    /// Relocations performed, oldest-ancestor first, as `(from, to)` slot
+    /// moves. Empty for non-zcache arrays.
+    pub moves: Vec<(SlotId, SlotId)>,
+}
+
+impl InstallOutcome {
+    /// Clears the outcome for reuse across installs.
+    pub fn clear(&mut self) {
+        self.evicted = None;
+        self.evicted_slot = None;
+        self.filled_slot = SlotId(0);
+        self.moves.clear();
+    }
+}
+
+/// A cache tag array: associative lookup plus replacement-candidate
+/// generation and installation.
+///
+/// Slot identifiers are dense in `0..lines()`, so per-slot replacement
+/// state can live in flat vectors.
+pub trait CacheArray {
+    /// Total frames.
+    fn lines(&self) -> u64;
+
+    /// Number of ways (locations a block can be in).
+    fn ways(&self) -> u32;
+
+    /// Finds the frame holding `addr`, if resident.
+    fn lookup(&self, addr: LineAddr) -> Option<SlotId>;
+
+    /// The block resident in `slot`, if any.
+    fn addr_at(&self, slot: SlotId) -> Option<LineAddr>;
+
+    /// Gathers replacement candidates for a missing `addr` into `out`.
+    ///
+    /// `&mut self` allows arrays to advance internal PRNG state or cache
+    /// the walk tree for the subsequent [`install`](Self::install).
+    fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet);
+
+    /// Installs `addr`, vacating `victim` (a candidate returned by the
+    /// immediately preceding `candidates` call for the same address).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `victim` does not belong to the most
+    /// recent candidate set for `addr`.
+    fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome);
+
+    /// Removes `addr` if resident, returning its former frame.
+    fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId>;
+
+    /// Calls `f` for every valid (occupied) frame.
+    fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr));
+
+    /// Number of occupied frames.
+    fn occupancy(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_valid(&mut |_, _| n += 1);
+        n
+    }
+}
+
+/// Array organization selector for [`CacheBuilder`](crate::CacheBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// Set-associative with the given index hash.
+    SetAssoc {
+        /// Index hash family (`BitSelect` = conventional indexing).
+        hash: HashKind,
+    },
+    /// Skew-associative (H3-hashed ways).
+    Skew,
+    /// ZCache with a BFS walk of `levels` full levels.
+    ZCache {
+        /// Walk depth; candidates `R = W·Σ_{l<levels}(W−1)^l`.
+        levels: u32,
+    },
+    /// Fully associative.
+    Fully,
+    /// Random-candidates reference design with `n` candidates per miss.
+    RandomCands {
+        /// Candidates drawn uniformly (with repetition) per miss.
+        n: u32,
+    },
+}
+
+impl std::fmt::Display for ArrayKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayKind::SetAssoc { hash } => write!(f, "setassoc({hash})"),
+            ArrayKind::Skew => write!(f, "skew"),
+            ArrayKind::ZCache { levels } => write!(f, "zcache(L={levels})"),
+            ArrayKind::Fully => write!(f, "fully"),
+            ArrayKind::RandomCands { n } => write!(f, "random({n})"),
+        }
+    }
+}
+
+/// A runtime-selected array, for configuration-driven experiments.
+///
+/// Enum dispatch (not `dyn`) keeps the per-access cost at a predictable
+/// branch while letting `zbench` pick organizations from the command line.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // enum dispatch by design; arrays are long-lived
+pub enum AnyArray {
+    /// See [`SetAssocArray`].
+    SetAssoc(SetAssocArray),
+    /// See [`SkewArray`].
+    Skew(SkewArray),
+    /// See [`ZArray`].
+    ZCache(ZArray),
+    /// See [`FullyAssocArray`].
+    Fully(FullyAssocArray),
+    /// See [`RandomCandsArray`].
+    RandomCands(RandomCandsArray),
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            AnyArray::SetAssoc($inner) => $e,
+            AnyArray::Skew($inner) => $e,
+            AnyArray::ZCache($inner) => $e,
+            AnyArray::Fully($inner) => $e,
+            AnyArray::RandomCands($inner) => $e,
+        }
+    };
+}
+
+impl CacheArray for AnyArray {
+    fn lines(&self) -> u64 {
+        delegate!(self, a => a.lines())
+    }
+    fn ways(&self) -> u32 {
+        delegate!(self, a => a.ways())
+    }
+    fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
+        delegate!(self, a => a.lookup(addr))
+    }
+    fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
+        delegate!(self, a => a.addr_at(slot))
+    }
+    fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
+        delegate!(self, a => a.candidates(addr, out))
+    }
+    fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
+        delegate!(self, a => a.install(addr, victim, out))
+    }
+    fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
+        delegate!(self, a => a.invalidate(addr))
+    }
+    fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
+        delegate!(self, a => a.for_each_valid(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_reuse() {
+        let mut s = CandidateSet::new();
+        s.push(Candidate {
+            slot: SlotId(0),
+            addr: Some(1),
+            token: 0,
+        });
+        s.levels = 2;
+        s.tag_reads = 4;
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.levels, 0);
+        assert_eq!(s.tag_reads, 0);
+    }
+
+    #[test]
+    fn first_empty_finds_hole() {
+        let mut s = CandidateSet::new();
+        s.push(Candidate {
+            slot: SlotId(0),
+            addr: Some(5),
+            token: 0,
+        });
+        s.push(Candidate {
+            slot: SlotId(1),
+            addr: None,
+            token: 1,
+        });
+        assert_eq!(s.first_empty().unwrap().slot, SlotId(1));
+    }
+
+    #[test]
+    fn array_kind_display() {
+        assert_eq!(
+            ArrayKind::SetAssoc { hash: HashKind::H3 }.to_string(),
+            "setassoc(h3)"
+        );
+        assert_eq!(ArrayKind::ZCache { levels: 3 }.to_string(), "zcache(L=3)");
+        assert_eq!(ArrayKind::RandomCands { n: 16 }.to_string(), "random(16)");
+        assert_eq!(ArrayKind::Skew.to_string(), "skew");
+        assert_eq!(ArrayKind::Fully.to_string(), "fully");
+    }
+
+    #[test]
+    fn install_outcome_clear() {
+        let mut o = InstallOutcome {
+            evicted: Some(9),
+            evicted_slot: Some(SlotId(3)),
+            filled_slot: SlotId(7),
+            moves: vec![(SlotId(1), SlotId(2))],
+        };
+        o.clear();
+        assert_eq!(o, InstallOutcome::default());
+    }
+}

@@ -1,0 +1,155 @@
+//! Skew-associative array (Seznec, 1993).
+
+use super::walk::WalkKind;
+use super::{CacheArray, Candidate, CandidateSet, InstallOutcome, ZArray};
+use crate::types::{LineAddr, Location, SlotId};
+use zhash::HashKind;
+
+/// A skew-associative cache array: each way indexed by a different hash
+/// function, one possible location per way.
+///
+/// Structurally this is a zcache whose replacement walk is limited to the
+/// first level (§III: "Hits happen exactly as in the skew-associative
+/// cache"), so it is implemented as a single-level [`ZArray`]. Replacement
+/// candidates are the `W` first-level locations and installs never
+/// relocate.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::{CacheArray, CandidateSet, SkewArray};
+///
+/// let mut s = SkewArray::new(1024, 4, 7);
+/// let mut cands = CandidateSet::new();
+/// s.candidates(99, &mut cands);
+/// assert_eq!(cands.len(), 4);
+/// assert_eq!(cands.levels, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkewArray {
+    inner: ZArray,
+}
+
+impl SkewArray {
+    /// Creates a skew-associative array with H3-hashed ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ZArray::new`].
+    pub fn new(lines: u64, ways: u32, seed: u64) -> Self {
+        Self {
+            inner: ZArray::new(lines, ways, 1, seed),
+        }
+    }
+
+    /// Creates a skew-associative array with an explicit hash family.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ZArray::new`].
+    pub fn with_hash(lines: u64, ways: u32, hash: HashKind, seed: u64) -> Self {
+        Self {
+            inner: ZArray::with_hash(lines, ways, 1, hash, seed).with_walk_kind(WalkKind::Bfs),
+        }
+    }
+
+    /// The `(way, row)` location of `slot`.
+    pub fn location(&self, slot: SlotId) -> Location {
+        self.inner.location(slot)
+    }
+
+    /// Rows per way.
+    pub fn rows_per_way(&self) -> u64 {
+        self.inner.rows_per_way()
+    }
+}
+
+impl CacheArray for SkewArray {
+    fn lines(&self) -> u64 {
+        self.inner.lines()
+    }
+    fn ways(&self) -> u32 {
+        self.inner.ways()
+    }
+    fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
+        self.inner.lookup(addr)
+    }
+    fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
+        self.inner.addr_at(slot)
+    }
+    fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
+        self.inner.candidates(addr, out);
+    }
+    fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
+        self.inner.install(addr, victim, out);
+        debug_assert!(out.moves.is_empty(), "skew caches never relocate");
+    }
+    fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
+        self.inner.invalidate(addr)
+    }
+    fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
+        self.inner.for_each_valid(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_limited_to_first_level() {
+        let mut s = SkewArray::new(64, 4, 1);
+        let mut cands = CandidateSet::new();
+        let mut out = InstallOutcome::default();
+        // Fill completely.
+        for a in 0..1000u64 {
+            if s.lookup(a).is_some() {
+                continue;
+            }
+            s.candidates(a, &mut cands);
+            let v = *cands.first_empty().unwrap_or(&cands.as_slice()[0]);
+            s.install(a, &v, &mut out);
+        }
+        s.candidates(5000, &mut cands);
+        assert_eq!(cands.len(), 4, "skew candidates == ways");
+        assert_eq!(cands.levels, 1);
+    }
+
+    #[test]
+    fn install_never_moves() {
+        let mut s = SkewArray::new(64, 4, 2);
+        let mut cands = CandidateSet::new();
+        let mut out = InstallOutcome::default();
+        for a in 0..200u64 {
+            s.candidates(a, &mut cands);
+            let v = *cands.first_empty().unwrap_or(&cands.as_slice()[0]);
+            s.install(a, &v, &mut out);
+            assert!(out.moves.is_empty());
+        }
+    }
+
+    #[test]
+    fn different_ways_use_different_hashes() {
+        let s = SkewArray::new(1 << 12, 4, 3);
+        // Blocks conflicting in way 0 should mostly not conflict in way 1.
+        let mut same = 0;
+        let inner = &s.inner;
+        let target = inner.row_of(0, 0);
+        let mut conflicting = Vec::new();
+        for a in 1..100_000u64 {
+            if inner.row_of(a, 0) == target {
+                conflicting.push(a);
+            }
+            if conflicting.len() == 50 {
+                break;
+            }
+        }
+        let t1 = inner.row_of(0, 1);
+        for &a in &conflicting {
+            if inner.row_of(a, 1) == t1 {
+                same += 1;
+            }
+        }
+        assert!(same <= 2, "way-1 conflicts should be rare, got {same}");
+    }
+}

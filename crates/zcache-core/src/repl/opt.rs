@@ -1,0 +1,169 @@
+//! Belady's OPT (MIN) policy, driven by a precomputed trace oracle.
+
+use super::{AccessCtx, ReplacementPolicy};
+use crate::types::{LineAddr, SlotId};
+use std::collections::HashMap;
+
+/// Belady's OPT: evict the block whose next reference is furthest in the
+/// future.
+///
+/// The paper runs OPT in trace-driven mode to "decouple replacement
+/// policy issues from associativity effects" (§VI-B). The policy itself
+/// only stores, per slot, the stream position of the resident block's
+/// next use, supplied through [`AccessCtx::next_use`]; [`OptTrace`]
+/// precomputes those positions from a reference stream.
+///
+/// As the paper notes, in caches with interference across sets (skew,
+/// zcache) OPT is a heuristic, not a true optimum — but a good one.
+#[derive(Debug, Clone)]
+pub struct Opt {
+    next_use: Vec<u64>,
+}
+
+impl Opt {
+    /// Creates an OPT policy for `lines` frames.
+    pub fn new(lines: u64) -> Self {
+        Self {
+            next_use: vec![u64::MAX; lines as usize],
+        }
+    }
+}
+
+impl ReplacementPolicy for Opt {
+    fn on_hit(&mut self, slot: SlotId, _addr: LineAddr, ctx: &AccessCtx) {
+        self.next_use[slot.idx()] = ctx.next_use;
+    }
+
+    fn on_fill(&mut self, slot: SlotId, _addr: LineAddr, ctx: &AccessCtx) {
+        self.next_use[slot.idx()] = ctx.next_use;
+    }
+
+    fn on_move(&mut self, from: SlotId, to: SlotId) {
+        self.next_use[to.idx()] = self.next_use[from.idx()];
+    }
+
+    fn on_evict(&mut self, slot: SlotId) {
+        self.next_use[slot.idx()] = u64::MAX;
+    }
+
+    fn score(&self, slot: SlotId) -> u64 {
+        // Furthest next use (or never) evicted first.
+        self.next_use[slot.idx()]
+    }
+}
+
+/// A reference trace annotated with next-use positions, the oracle OPT
+/// needs.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::OptTrace;
+///
+/// let t = OptTrace::new(vec![1, 2, 1, 3]);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.next_use(0), 2);          // addr 1 reused at position 2
+/// assert_eq!(t.next_use(1), u64::MAX);   // addr 2 never reused
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OptTrace {
+    addrs: Vec<LineAddr>,
+    next_use: Vec<u64>,
+}
+
+impl OptTrace {
+    /// Builds the oracle with a single backward scan of the trace.
+    pub fn new(addrs: Vec<LineAddr>) -> Self {
+        let mut next_use = vec![u64::MAX; addrs.len()];
+        let mut last_seen: HashMap<LineAddr, u64> = HashMap::new();
+        for (i, &a) in addrs.iter().enumerate().rev() {
+            if let Some(&later) = last_seen.get(&a) {
+                next_use[i] = later;
+            }
+            last_seen.insert(a, i as u64);
+        }
+        Self { addrs, next_use }
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The address at stream position `i`.
+    pub fn addr(&self, i: usize) -> LineAddr {
+        self.addrs[i]
+    }
+
+    /// Stream position of the next reference to the block referenced at
+    /// position `i`, or `u64::MAX` if it is never referenced again.
+    pub fn next_use(&self, i: usize) -> u64 {
+        self.next_use[i]
+    }
+
+    /// Iterates `(addr, next_use)` pairs in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
+        self.addrs
+            .iter()
+            .copied()
+            .zip(self.next_use.iter().copied())
+    }
+
+    /// The raw address stream.
+    pub fn addrs(&self) -> &[LineAddr] {
+        &self.addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_next_use_positions() {
+        let t = OptTrace::new(vec![5, 6, 5, 7, 6, 5]);
+        assert_eq!(t.next_use(0), 2);
+        assert_eq!(t.next_use(1), 4);
+        assert_eq!(t.next_use(2), 5);
+        assert_eq!(t.next_use(3), u64::MAX);
+        assert_eq!(t.next_use(4), u64::MAX);
+        assert_eq!(t.next_use(5), u64::MAX);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = OptTrace::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn policy_prefers_furthest_reuse() {
+        let mut p = Opt::new(4);
+        p.on_fill(SlotId(0), 10, &AccessCtx { next_use: 100 });
+        p.on_fill(SlotId(1), 11, &AccessCtx { next_use: 50 });
+        p.on_fill(SlotId(2), 12, &AccessCtx { next_use: u64::MAX });
+        assert!(p.score(SlotId(2)) > p.score(SlotId(0)));
+        assert!(p.score(SlotId(0)) > p.score(SlotId(1)));
+    }
+
+    #[test]
+    fn hit_updates_next_use() {
+        let mut p = Opt::new(1);
+        p.on_fill(SlotId(0), 1, &AccessCtx { next_use: 5 });
+        p.on_hit(SlotId(0), 1, &AccessCtx { next_use: 99 });
+        assert_eq!(p.score(SlotId(0)), 99);
+    }
+
+    #[test]
+    fn iter_matches_accessors() {
+        let t = OptTrace::new(vec![1, 1, 2]);
+        let v: Vec<_> = t.iter().collect();
+        assert_eq!(v, vec![(1, 1), (1, u64::MAX), (2, u64::MAX)]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Access, energy-event and distribution statistics.
+
+/// Aggregate counters for one cache.
+///
+/// The tag/data read/write counters follow the paper's energy accounting
+/// (§III-B): a hit reads all ways' tags and one way's data; a miss
+/// additionally reads `R` tags during the walk and pays
+/// `(E_rt + E_rd + E_wt + E_wd)` per relocation. The [`zenergy`] crate
+/// turns these event counts into energy.
+///
+/// [`zenergy`]: https://docs.rs/zenergy
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (hits + misses).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses that evicted a valid block (vs filling an empty frame).
+    pub evictions: u64,
+    /// Evictions of dirty blocks (write-backs to the next level).
+    pub writebacks: u64,
+    /// Invalidations received (coherence or inclusion victims).
+    pub invalidations: u64,
+    /// Tag-array read operations (single-way granularity).
+    pub tag_reads: u64,
+    /// Tag-array write operations.
+    pub tag_writes: u64,
+    /// Data-array read operations (full-line granularity).
+    pub data_reads: u64,
+    /// Data-array write operations.
+    pub data_writes: u64,
+    /// Replacement candidates examined across all misses.
+    pub candidates_examined: u64,
+    /// Block relocations performed (zcache only; 0 elsewhere).
+    pub relocations: u64,
+    /// Sum of walk levels used across misses (for average depth).
+    pub walk_levels: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Miss rate in `[0, 1]`; 0 if there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per thousand instructions given an instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Mean replacement candidates per miss.
+    pub fn avg_candidates(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.candidates_examined as f64 / self.misses as f64
+        }
+    }
+
+    /// Mean relocations per miss.
+    pub fn avg_relocations(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.relocations as f64 / self.misses as f64
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.invalidations += other.invalidations;
+        self.tag_reads += other.tag_reads;
+        self.tag_writes += other.tag_writes;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.candidates_examined += other.candidates_examined;
+        self.relocations += other.relocations;
+        self.walk_levels += other.walk_levels;
+    }
+}
+
+/// A fixed-bin histogram over `[0, 1]`, used for eviction-priority
+/// distributions (§IV) and any other unit-interval quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitHistogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl UnitHistogram {
+    /// Creates a histogram with `bins` equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records a sample; values outside `[0, 1]` are clamped.
+    pub fn record(&mut self, value: f64) {
+        let v = value.clamp(0.0, 1.0);
+        let n = self.bins.len();
+        let idx = ((v * n as f64) as usize).min(n - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Empirical CDF evaluated at the right edge of each bin:
+    /// `cdf()[i] = P(X <= (i+1)/bins)`.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.bins.len());
+        let mut acc = 0u64;
+        for &c in &self.bins {
+            acc += c;
+            out.push(if self.total == 0 {
+                0.0
+            } else {
+                acc as f64 / self.total as f64
+            });
+        }
+        out
+    }
+
+    /// Empirical CDF evaluated at an arbitrary point `x` (step
+    /// interpolation at bin granularity).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let x = x.clamp(0.0, 1.0);
+        let n = self.bins.len();
+        let full_bins = ((x * n as f64).floor() as usize).min(n);
+        let acc: u64 = self.bins[..full_bins].iter().sum();
+        acc as f64 / self.total as f64
+    }
+
+    /// Mean of the recorded samples, approximated at bin-center
+    /// resolution.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f64;
+        let mut sum = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let center = (i as f64 + 0.5) / n;
+            sum += center * c as f64;
+        }
+        sum / self.total as f64
+    }
+
+    /// Merges another histogram with the same bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin counts differ.
+    pub fn merge(&mut self, other: &UnitHistogram) {
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram bin counts must match"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Default for UnitHistogram {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rates() {
+        let s = CacheStats {
+            accesses: 1000,
+            hits: 900,
+            misses: 100,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki(10_000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_zero_access_rates() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+        assert_eq!(s.avg_candidates(), 0.0);
+        assert_eq!(s.avg_relocations(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = CacheStats {
+            accesses: 10,
+            misses: 3,
+            relocations: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 5,
+            misses: 1,
+            relocations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.relocations, 3);
+    }
+
+    #[test]
+    fn histogram_records_and_cdf() {
+        let mut h = UnitHistogram::new(4);
+        for v in [0.1, 0.3, 0.6, 0.9] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        let cdf = h.cdf();
+        assert_eq!(cdf, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = UnitHistogram::new(2);
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_cdf_at() {
+        let mut h = UnitHistogram::new(10);
+        for i in 0..10 {
+            h.record(i as f64 / 10.0 + 0.05);
+        }
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.cdf_at(0.0), 0.0);
+        assert_eq!(h.cdf_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_mean_of_uniform() {
+        let mut h = UnitHistogram::new(100);
+        for i in 0..1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        assert!((h.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = UnitHistogram::new(4);
+        let mut b = UnitHistogram::new(4);
+        a.record(0.1);
+        b.record(0.9);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        UnitHistogram::new(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fundamental identifiers shared by every cache array.
+
+/// A cache-line address: the block address with the line-offset bits
+/// already stripped (address / 64 for the paper's 64-byte lines).
+///
+/// Plain `u64` keeps the hot paths free of wrapper noise; the type alias
+/// documents intent at API boundaries.
+pub type LineAddr = u64;
+
+/// A physical slot (frame) in a cache array, flattened across ways.
+///
+/// The mapping from `(way, row)` to `SlotId` is array-specific; callers
+/// treat slots as opaque except for indexing per-slot replacement state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The slot index as a `usize`, for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+/// A physical location inside an array, as `(way, row)`.
+///
+/// Used in diagnostics and the Fig. 1 walkthrough example; hot paths use
+/// [`SlotId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Way index, `0..ways`.
+    pub way: u32,
+    /// Row within the way (the hash value of the resident block).
+    pub row: u64,
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "way {} row {}", self.way, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_id_ordering_and_idx() {
+        assert!(SlotId(1) < SlotId(2));
+        assert_eq!(SlotId(7).idx(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SlotId(3).to_string(), "slot#3");
+        assert_eq!(Location { way: 1, row: 9 }.to_string(), "way 1 row 9");
+    }
+}

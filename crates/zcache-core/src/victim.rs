@@ -1,0 +1,251 @@
+//! Victim-cache baseline (§II-B of the paper).
+//!
+//! One of the §II alternatives to higher associativity: keep a small
+//! fully-associative buffer next to the main cache that captures evicted
+//! blocks, so short-lived conflict victims can be recovered without a
+//! round trip to the next level (Jouppi, 1990). The paper's critique —
+//! which this implementation lets you measure — is that victim caches
+//! "work poorly with a sizable amount of conflict misses in several hot
+//! ways" and charge extra latency and energy on every main-cache miss,
+//! hit or not.
+
+use crate::array::{CacheArray, FullyAssocArray};
+use crate::cache::{AccessOutcome, Cache};
+use crate::repl::{FullLru, ReplacementPolicy};
+use crate::stats::CacheStats;
+use crate::types::LineAddr;
+
+/// A main cache backed by a small fully-associative victim buffer.
+///
+/// On a main-cache miss the victim buffer is probed; a victim-buffer hit
+/// swaps the block back into the main cache (evicting a block into the
+/// buffer), and a full miss fills the main cache with the displaced
+/// block landing in the buffer.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::{CacheBuilder, ArrayKind, VictimCache};
+/// use zhash::HashKind;
+///
+/// let main = CacheBuilder::new()
+///     .lines(256)
+///     .ways(4)
+///     .array(ArrayKind::SetAssoc { hash: HashKind::BitSelect })
+///     .build_lru();
+/// let mut vc = VictimCache::new(main, 16);
+/// assert!(vc.access(42).is_miss());
+/// assert!(vc.access(42).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimCache<A, P> {
+    main: Cache<A, P>,
+    buffer: Cache<FullyAssocArray, FullLru>,
+    victim_hits: u64,
+    victim_probes: u64,
+}
+
+impl<A: CacheArray, P: ReplacementPolicy> VictimCache<A, P> {
+    /// Wraps `main` with a fully-associative victim buffer of
+    /// `buffer_lines` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_lines == 0`.
+    pub fn new(main: Cache<A, P>, buffer_lines: u64) -> Self {
+        assert!(buffer_lines > 0, "victim buffer needs at least one line");
+        let buffer = Cache::new(
+            FullyAssocArray::new(buffer_lines),
+            FullLru::new(buffer_lines),
+        );
+        Self {
+            main,
+            buffer,
+            victim_hits: 0,
+            victim_probes: 0,
+        }
+    }
+
+    /// Performs one access.
+    ///
+    /// The returned outcome reports a *hit* for both main-cache hits and
+    /// victim-buffer hits (no next-level traffic); `evicted` reports the
+    /// block that left the victim-cache *system*, if any.
+    pub fn access(&mut self, addr: LineAddr) -> AccessOutcome {
+        let main_out = self.main.access(addr);
+        if main_out.hit {
+            return main_out;
+        }
+
+        // The block displaced from the main cache goes into the buffer.
+        self.victim_probes += 1;
+        let buffer_hit = self.buffer.contains(addr);
+        if buffer_hit {
+            self.victim_hits += 1;
+            self.buffer.invalidate(addr);
+        }
+        let mut system_eviction = None;
+        let mut system_dirty = false;
+        if let Some(ev) = main_out.evicted {
+            let buf_out = self
+                .buffer
+                .access_full(ev, main_out.evicted_dirty, u64::MAX);
+            if let Some(gone) = buf_out.evicted {
+                system_eviction = Some(gone);
+                system_dirty = buf_out.evicted_dirty;
+            }
+        }
+
+        AccessOutcome {
+            hit: buffer_hit,
+            evicted: system_eviction,
+            evicted_dirty: system_dirty,
+        }
+    }
+
+    /// Fraction of main-cache misses recovered from the victim buffer.
+    pub fn victim_hit_rate(&self) -> f64 {
+        if self.victim_probes == 0 {
+            0.0
+        } else {
+            self.victim_hits as f64 / self.victim_probes as f64
+        }
+    }
+
+    /// Misses that left the victim-cache system entirely.
+    pub fn system_misses(&self) -> u64 {
+        self.victim_probes - self.victim_hits
+    }
+
+    /// Accesses seen.
+    pub fn accesses(&self) -> u64 {
+        self.main.stats().accesses
+    }
+
+    /// System miss rate: misses that neither the main cache nor the
+    /// buffer could serve.
+    pub fn system_miss_rate(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.system_misses() as f64 / acc as f64
+        }
+    }
+
+    /// Statistics of the main cache.
+    pub fn main_stats(&self) -> &CacheStats {
+        self.main.stats()
+    }
+
+    /// Statistics of the victim buffer.
+    pub fn buffer_stats(&self) -> &CacheStats {
+        self.buffer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayKind;
+    use crate::cache::CacheBuilder;
+    use zhash::HashKind;
+
+    fn vc(main_lines: u64, buffer: u64) -> VictimCache<crate::AnyArray, crate::AnyPolicy> {
+        let main = CacheBuilder::new()
+            .lines(main_lines)
+            .ways(2)
+            .array(ArrayKind::SetAssoc {
+                hash: HashKind::BitSelect,
+            })
+            .build_lru();
+        VictimCache::new(main, buffer)
+    }
+
+    #[test]
+    fn recovers_short_lived_conflict_victims() {
+        // Three blocks ping-ponging in a 2-way set: the victim buffer
+        // turns the conflict misses into buffer hits.
+        let mut c = vc(32, 8);
+        let sets = 16u64;
+        let conflicting = [0u64, sets, 2 * sets];
+        for &a in &conflicting {
+            c.access(a); // cold fills
+        }
+        let mut buffer_hits = 0;
+        for round in 0..30 {
+            let a = conflicting[round % 3];
+            if c.access(a).hit && round >= 3 {
+                buffer_hits += 1;
+            }
+        }
+        assert!(c.victim_hit_rate() > 0.5, "rate {}", c.victim_hit_rate());
+        assert!(buffer_hits > 10);
+    }
+
+    #[test]
+    fn capacity_misses_still_miss() {
+        // A scan over far more lines than main + buffer can hold gains
+        // nothing from the victim buffer.
+        let mut c = vc(32, 8);
+        for round in 0..3 {
+            for a in 0..1000u64 {
+                let out = c.access(a);
+                if round > 0 {
+                    assert!(out.is_miss(), "impossible hit on a 1000-line scan");
+                }
+            }
+        }
+        assert!(c.victim_hit_rate() < 0.05);
+        assert!(c.system_miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn dirty_blocks_keep_dirty_through_buffer() {
+        let mut c = vc(4, 2);
+        // Fill set 0 (2 ways) and overflow it with writes.
+        let sets = 2u64;
+        c.access(0);
+        let mut wrote = false;
+        // Write then displace through the buffer until something dirty
+        // leaves the system.
+        let mut main = CacheBuilder::new()
+            .lines(4)
+            .ways(2)
+            .array(ArrayKind::SetAssoc {
+                hash: HashKind::BitSelect,
+            })
+            .build_lru();
+        main.access_write(0);
+        let mut vcache = VictimCache::new(main, 1);
+        for a in 1..6u64 {
+            let out = vcache.access(a * sets); // all map to set 0
+            if out.evicted == Some(0) {
+                wrote = true;
+                assert!(out.evicted_dirty, "dirty bit lost through the buffer");
+            }
+        }
+        assert!(wrote, "the dirty block never left the system");
+    }
+
+    #[test]
+    fn system_miss_accounting() {
+        let mut c = vc(32, 4);
+        for a in 0..100u64 {
+            c.access(a);
+        }
+        assert_eq!(c.accesses(), 100);
+        assert_eq!(
+            c.system_misses() + c.victim_hits,
+            c.main_stats().misses,
+            "every main miss is either recovered or a system miss"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_buffer_panics() {
+        let main = CacheBuilder::new().lines(32).build_lru();
+        let _ = VictimCache::new(main, 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Per-cache area/latency/energy model and the Table II generator.
+
+use zcache_core::replacement_candidates;
+
+/// Whether tag and data arrays are accessed sequentially or in parallel
+/// (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupMode {
+    /// Tags first, then a single data way: lower energy, higher latency.
+    Serial,
+    /// Tag and data accesses overlap (way-select propagation): lower
+    /// latency, higher energy.
+    Parallel,
+}
+
+impl std::fmt::Display for LookupMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LookupMode::Serial => "serial",
+            LookupMode::Parallel => "parallel",
+        })
+    }
+}
+
+/// Array organization, as far as physical cost is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrgKind {
+    /// Set-associative (hit cost grows with ways).
+    SetAssoc,
+    /// ZCache with an `levels`-deep walk: hit cost of its way count,
+    /// replacement cost of `R` candidates.
+    ZCache {
+        /// Walk depth in levels.
+        levels: u32,
+    },
+}
+
+/// Physical description of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheDesign {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of independent banks.
+    pub banks: u32,
+    /// Physical ways.
+    pub ways: u32,
+    /// Organization.
+    pub org: OrgKind,
+    /// Tag/data access mode.
+    pub lookup: LookupMode,
+}
+
+impl CacheDesign {
+    /// The paper's L2 design point: 8 MB, 8 banks, 64-byte lines.
+    pub fn paper_l2(ways: u32, org: OrgKind, lookup: LookupMode) -> Self {
+        Self {
+            size_bytes: 8 << 20,
+            line_bytes: 64,
+            banks: 8,
+            ways,
+            org,
+            lookup,
+        }
+    }
+
+    /// Lines per bank.
+    pub fn lines_per_bank(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.banks)
+    }
+
+    /// Replacement candidates per miss for this organization.
+    pub fn candidates(&self) -> u64 {
+        match self.org {
+            OrgKind::SetAssoc => u64::from(self.ways),
+            OrgKind::ZCache { levels } => replacement_candidates(self.ways, levels),
+        }
+    }
+
+    /// A short label like `SA-32` or `Z4/52`.
+    pub fn label(&self) -> String {
+        match self.org {
+            OrgKind::SetAssoc => format!("SA-{}", self.ways),
+            OrgKind::ZCache { .. } => format!("Z{}/{}", self.ways, self.candidates()),
+        }
+    }
+
+    /// Evaluates the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`, `banks == 0` or the geometry is degenerate.
+    pub fn cost(&self) -> CacheCost {
+        assert!(self.ways > 0, "need at least one way");
+        assert!(self.banks > 0, "need at least one bank");
+        assert!(
+            self.size_bytes >= u64::from(self.line_bytes) * u64::from(self.ways),
+            "cache smaller than one set"
+        );
+        let w = f64::from(self.ways);
+
+        // Energy scale: bitline/word-line energy grows with the square
+        // root of bank capacity (CACTI's sub-banked arrays). Calibration
+        // point: 1 MB banks.
+        let bank_kb = self.size_bytes as f64 / 1024.0 / f64::from(self.banks);
+        let esc = (bank_kb / 1024.0).sqrt();
+
+        // Hit energy: per-way tag cost `a·W` plus a data-access term,
+        // fitted to the paper's serial 2× and parallel 3.3× ratios
+        // between 32 and 4 ways.
+        let (a, d) = match self.lookup {
+            LookupMode::Serial => (0.020, 0.480),
+            LookupMode::Parallel => (0.060, 0.4904),
+        };
+        let hit_energy = (a * w + d) * esc;
+        let tag_lookup_energy = a * w * esc;
+
+        // Narrow single-way accesses used by the replacement walk and
+        // relocations (sub-banked, single-way-wide ports).
+        let e_rt = 0.012 * esc;
+        let e_wt = 0.014 * esc;
+        let e_rd = 0.120 * esc;
+        let e_wd = 0.144 * esc;
+
+        // Replacement-process energy (§III-B): the full-width tag lookup
+        // that detected the miss, the walk's extra narrow tag reads
+        // beyond the first level, the expected relocations (victim
+        // uniform over candidates), and the fill.
+        let r = self.candidates() as f64;
+        let avg_relocs = match self.org {
+            OrgKind::SetAssoc => 0.0,
+            OrgKind::ZCache { levels } => expected_relocations(self.ways, levels),
+        };
+        let walk_extra = (r - w).max(0.0);
+        let miss_energy = tag_lookup_energy
+            + walk_extra * e_rt
+            + avg_relocs * (e_rt + e_rd + e_wt + e_wd)
+            + (e_wt + e_wd);
+
+        // Hit latency in cycles at 2 GHz, fitted to the paper's numbers
+        // (serial 4-way ≈ 9, 32-way ≈ 11 → 1.23×; parallel 6 → 8 →
+        // 1.32×), plus a mild bank-size term.
+        let (base, per_way) = match self.lookup {
+            LookupMode::Serial => (7.9, 0.62),
+            LookupMode::Parallel => (5.3, 0.54),
+        };
+        let size_term = (bank_kb / 1024.0).log2().max(-2.0) * 0.5;
+        let hit_latency = (base + per_way * w.log2() + size_term).floor().max(2.0) as u32;
+
+        // Area: data array scales with capacity; tag area grows with the
+        // way count (wider tag port, more comparators). Fitted to the
+        // paper's 1.22× (32-way vs 4-way).
+        let size_mb = self.size_bytes as f64 / (1024.0 * 1024.0);
+        let data_area = 4.25 * size_mb;
+        let tag_area = (0.75 + 0.039_29 * (w - 4.0)) * size_mb;
+        let port_factor = match self.lookup {
+            LookupMode::Parallel => 1.05,
+            LookupMode::Serial => 1.0,
+        };
+        let area = (data_area + tag_area) * port_factor;
+
+        // Low-leakage process: static power proportional to area.
+        let static_w = 0.04 * area;
+
+        CacheCost {
+            area_mm2: area,
+            hit_latency_cycles: hit_latency,
+            hit_energy_nj: hit_energy,
+            tag_lookup_energy_nj: tag_lookup_energy,
+            miss_energy_nj: miss_energy,
+            e_rt_nj: e_rt,
+            e_wt_nj: e_wt,
+            e_rd_nj: e_rd,
+            e_wd_nj: e_wd,
+            static_w,
+            candidates: self.candidates(),
+            ways: self.ways,
+        }
+    }
+}
+
+/// Expected relocations per miss for a `ways`-way, `levels`-deep zcache,
+/// assuming the victim is uniform over candidates: a victim at level `l`
+/// costs `l` relocations.
+fn expected_relocations(ways: u32, levels: u32) -> f64 {
+    let w = f64::from(ways);
+    let mut total = 0.0;
+    let mut count = 0.0;
+    let mut level_size = w;
+    for l in 0..levels {
+        total += f64::from(l) * level_size;
+        count += level_size;
+        level_size *= w - 1.0;
+    }
+    if count == 0.0 {
+        0.0
+    } else {
+        total / count
+    }
+}
+
+/// Modelled physical characteristics of a cache (one Table II column
+/// set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheCost {
+    /// Total area across banks, mm² (32 nm-calibrated).
+    pub area_mm2: f64,
+    /// Bank hit latency in cycles at 2 GHz.
+    pub hit_latency_cycles: u32,
+    /// Energy of a hit (full lookup + one data way), nJ.
+    pub hit_energy_nj: f64,
+    /// Energy of the tag portion of a lookup (what a miss pays before
+    /// the walk), nJ.
+    pub tag_lookup_energy_nj: f64,
+    /// Expected replacement-process energy per miss
+    /// (`R·E_rt + E[m]·(E_rt+E_rd+E_wt+E_wd)` + fill), nJ.
+    pub miss_energy_nj: f64,
+    /// Single-way tag read energy, nJ.
+    pub e_rt_nj: f64,
+    /// Single-way tag write energy, nJ.
+    pub e_wt_nj: f64,
+    /// Data line read energy, nJ.
+    pub e_rd_nj: f64,
+    /// Data line write energy, nJ.
+    pub e_wd_nj: f64,
+    /// Leakage power, W.
+    pub static_w: f64,
+    /// Replacement candidates per miss.
+    pub candidates: u64,
+    /// Physical ways (how many tags one lookup reads).
+    pub ways: u32,
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Design label (`SA-4`, `Z4/52`, …).
+    pub label: String,
+    /// Lookup mode.
+    pub lookup: LookupMode,
+    /// The design.
+    pub design: CacheDesign,
+    /// Modelled cost.
+    pub cost: CacheCost,
+}
+
+/// Regenerates Table II: set-associative designs at 4–32 ways and
+/// zcaches at 4 ways with 2- and 3-level walks (Z4/16, Z4/52), for both
+/// serial and parallel lookups, at the paper's 8 MB L2 design point.
+pub fn table2() -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for lookup in [LookupMode::Serial, LookupMode::Parallel] {
+        for ways in [4u32, 8, 16, 32] {
+            let design = CacheDesign::paper_l2(ways, OrgKind::SetAssoc, lookup);
+            rows.push(Table2Row {
+                label: design.label(),
+                lookup,
+                design,
+                cost: design.cost(),
+            });
+        }
+        for levels in [2u32, 3] {
+            let design = CacheDesign::paper_l2(4, OrgKind::ZCache { levels }, lookup);
+            rows.push(Table2Row {
+                label: design.label(),
+                lookup,
+                design,
+                cost: design.cost(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(ways: u32, lookup: LookupMode) -> CacheCost {
+        CacheDesign::paper_l2(ways, OrgKind::SetAssoc, lookup).cost()
+    }
+
+    #[test]
+    fn serial_ratios_match_paper() {
+        let c4 = sa(4, LookupMode::Serial);
+        let c32 = sa(32, LookupMode::Serial);
+        let e = c32.hit_energy_nj / c4.hit_energy_nj;
+        let t = c32.hit_latency_cycles as f64 / c4.hit_latency_cycles as f64;
+        let a = c32.area_mm2 / c4.area_mm2;
+        assert!((1.9..2.1).contains(&e), "hit energy ratio {e}");
+        assert!((1.15..1.35).contains(&t), "latency ratio {t}");
+        assert!((1.15..1.30).contains(&a), "area ratio {a}");
+    }
+
+    #[test]
+    fn parallel_ratios_match_paper() {
+        let c4 = sa(4, LookupMode::Parallel);
+        let c32 = sa(32, LookupMode::Parallel);
+        let e = c32.hit_energy_nj / c4.hit_energy_nj;
+        let t = c32.hit_latency_cycles as f64 / c4.hit_latency_cycles as f64;
+        assert!((3.1..3.5).contains(&e), "hit energy ratio {e}");
+        assert!((1.25..1.45).contains(&t), "latency ratio {t}");
+    }
+
+    #[test]
+    fn zcache_hit_cost_independent_of_candidates() {
+        let z16 =
+            CacheDesign::paper_l2(4, OrgKind::ZCache { levels: 2 }, LookupMode::Serial).cost();
+        let z52 =
+            CacheDesign::paper_l2(4, OrgKind::ZCache { levels: 3 }, LookupMode::Serial).cost();
+        let sa4 = sa(4, LookupMode::Serial);
+        assert_eq!(z16.hit_energy_nj, z52.hit_energy_nj);
+        assert_eq!(z16.hit_latency_cycles, sa4.hit_latency_cycles);
+        assert_eq!(z16.hit_energy_nj, sa4.hit_energy_nj);
+        assert!(z52.miss_energy_nj > z16.miss_energy_nj);
+    }
+
+    #[test]
+    fn z452_vs_sa32_tradeoff() {
+        // The paper: a serial Z4/52 has ~2× lower hit energy and ~1.23×
+        // lower latency than SA-32, at ~1.3× higher miss energy.
+        let z = CacheDesign::paper_l2(4, OrgKind::ZCache { levels: 3 }, LookupMode::Serial).cost();
+        let s = sa(32, LookupMode::Serial);
+        assert!(s.hit_energy_nj / z.hit_energy_nj > 1.8);
+        assert!(s.hit_latency_cycles > z.hit_latency_cycles);
+        let miss_ratio = z.miss_energy_nj / s.miss_energy_nj;
+        assert!(
+            (1.0..2.2).contains(&miss_ratio),
+            "miss energy ratio {miss_ratio}"
+        );
+        assert_eq!(z.candidates, 52);
+    }
+
+    #[test]
+    fn parallel_faster_but_hotter_than_serial() {
+        for ways in [4u32, 8, 16, 32] {
+            let s = sa(ways, LookupMode::Serial);
+            let p = sa(ways, LookupMode::Parallel);
+            assert!(p.hit_latency_cycles < s.hit_latency_cycles, "{ways} ways");
+            assert!(p.hit_energy_nj > s.hit_energy_nj, "{ways} ways");
+        }
+    }
+
+    #[test]
+    fn latency_in_table_i_range() {
+        // Table I: 6–11 cycle L2 bank latency across the design space.
+        for row in table2() {
+            assert!(
+                (5..=12).contains(&row.cost.hit_latency_cycles),
+                "{} {}: {}",
+                row.label,
+                row.lookup,
+                row.cost.hit_latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn expected_relocations_values() {
+        // 4-way: level sizes 4, 12, 36. L=2: (0·4+1·12)/16 = 0.75.
+        assert!((expected_relocations(4, 2) - 0.75).abs() < 1e-12);
+        // L=3: (0·4+1·12+2·36)/52 = 84/52 ≈ 1.615.
+        assert!((expected_relocations(4, 3) - 84.0 / 52.0).abs() < 1e-12);
+        assert_eq!(expected_relocations(4, 1), 0.0);
+    }
+
+    #[test]
+    fn table2_has_all_design_points() {
+        let rows = table2();
+        assert_eq!(rows.len(), 12); // (4 SA + 2 Z) × 2 lookup modes
+        let labels: Vec<_> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&"SA-4"));
+        assert!(labels.contains(&"SA-32"));
+        assert!(labels.contains(&"Z4/16"));
+        assert!(labels.contains(&"Z4/52"));
+    }
+
+    #[test]
+    fn smaller_cache_cheaper() {
+        let big = CacheDesign::paper_l2(4, OrgKind::SetAssoc, LookupMode::Serial).cost();
+        let small = CacheDesign {
+            size_bytes: 1 << 20,
+            line_bytes: 64,
+            banks: 8,
+            ways: 4,
+            org: OrgKind::SetAssoc,
+            lookup: LookupMode::Serial,
+        }
+        .cost();
+        assert!(small.area_mm2 < big.area_mm2);
+        assert!(small.hit_energy_nj < big.hit_energy_nj);
+        assert!(small.hit_latency_cycles <= big.hit_latency_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        CacheDesign::paper_l2(0, OrgKind::SetAssoc, LookupMode::Serial).cost();
+    }
+}

@@ -1,0 +1,43 @@
+//! Cache cost and system power models (the paper's CACTI 6.5 / McPAT
+//! substitute).
+//!
+//! The paper derives Table II — timing, area and power of set-associative
+//! caches and zcaches across associativities — from CACTI's 32 nm models,
+//! and feeds event counts into McPAT for system energy (Fig. 5's BIPS/W).
+//! Neither tool is available here, so this crate provides first-order
+//! analytical models **calibrated to the ratios the paper quotes**:
+//!
+//! * serial-lookup 32-way vs 4-way set-associative: ≈1.22× area, ≈1.23×
+//!   hit latency, ≈2× hit energy;
+//! * parallel-lookup 32-way vs 4-way: ≈1.32× hit latency, ≈3.3× hit
+//!   energy;
+//! * zcaches: hit costs of their (small) way count, independent of the
+//!   number of replacement candidates; miss (replacement-process) energy
+//!   `E_miss = R·E_rt + m·(E_rt + E_rd + E_wt + E_wd)` (§III-B).
+//!
+//! Everything downstream (Table II, Fig. 5) depends only on these
+//! relative costs, which is what makes the substitution sound.
+//!
+//! # Examples
+//!
+//! ```
+//! use zenergy::{CacheDesign, LookupMode, OrgKind};
+//!
+//! let c4 = CacheDesign::paper_l2(4, OrgKind::SetAssoc, LookupMode::Serial).cost();
+//! let c32 = CacheDesign::paper_l2(32, OrgKind::SetAssoc, LookupMode::Serial).cost();
+//! let ratio = c32.hit_energy_nj / c4.hit_energy_nj;
+//! assert!((1.9..2.1).contains(&ratio)); // the paper's 2×
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache_cost;
+mod system_power;
+mod walk_timing;
+
+pub use cache_cost::{table2, CacheCost, CacheDesign, LookupMode, OrgKind, Table2Row};
+pub use system_power::{EnergyCounts, SystemEnergy, SystemPowerModel};
+pub use walk_timing::{
+    replacement_hides_under_miss, replacement_latency_cycles, walk_latency_cycles,
+};

@@ -1,0 +1,112 @@
+//! Replacement-process timing (§III-B's latency figures of merit).
+
+/// Latency of a full `levels`-deep breadth-first walk, in cycles.
+///
+/// The paper's formula (§III-B): each way is an independent tag bank, so
+/// the `W` reads of one level proceed in parallel across ways while the
+/// `(W−1)^l` reads *per way* pipeline at one per cycle; a level is
+/// limited by either the pipeline depth or the tag read latency:
+///
+/// `T_walk = Σ_{l=0}^{L−1} max(T_tag, (W−1)^l)`
+///
+/// # Examples
+///
+/// ```
+/// use zenergy::walk_latency_cycles;
+///
+/// // The Fig. 1g example: 3 ways, 3 levels, 4-cycle tag reads
+/// // → 4 + 4 + 4 = 12 cycles for 21 candidates.
+/// assert_eq!(walk_latency_cycles(3, 3, 4), 12);
+/// ```
+pub fn walk_latency_cycles(ways: u32, levels: u32, tag_latency: u32) -> u64 {
+    let w = u64::from(ways);
+    let mut total = 0u64;
+    let mut per_way = 1u64; // (W−1)^l reads per way at level l
+    for _ in 0..levels {
+        total += per_way.max(u64::from(tag_latency));
+        per_way = per_way.saturating_mul(w.saturating_sub(1));
+    }
+    total
+}
+
+/// Latency of the full replacement process: walk plus the relocation
+/// chain (each relocation is a serialized tag+data read/write pair,
+/// approximated as one tag plus one data access) plus the final fill.
+///
+/// The Fig. 1g example completes "in 20 cycles, much earlier than the
+/// 100 cycles used to retrieve the incoming block" — the zcache's
+/// entire premise is that this fits under the memory fetch.
+pub fn replacement_latency_cycles(
+    ways: u32,
+    levels: u32,
+    relocations: u32,
+    tag_latency: u32,
+    data_latency: u32,
+) -> u64 {
+    walk_latency_cycles(ways, levels, tag_latency)
+        + u64::from(relocations) * u64::from(tag_latency + data_latency) / 2
+        + u64::from(data_latency)
+}
+
+/// Checks the §III-A claim for a design point: the replacement process
+/// (with worst-case relocations `levels − 1`) hides under a memory
+/// fetch of `mem_latency` cycles.
+pub fn replacement_hides_under_miss(
+    ways: u32,
+    levels: u32,
+    tag_latency: u32,
+    data_latency: u32,
+    mem_latency: u32,
+) -> bool {
+    replacement_latency_cycles(
+        ways,
+        levels,
+        levels.saturating_sub(1),
+        tag_latency,
+        data_latency,
+    ) <= u64::from(mem_latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1g_example() {
+        // 3-way, 3-level walk, 4-cycle tag reads: per-way pipeline depths
+        // are 1, 2, 4 — all under T_tag — so each level costs 4 cycles:
+        // the paper's "4×3 = 12 cycles" for 21 candidates.
+        assert_eq!(walk_latency_cycles(3, 3, 4), 12);
+    }
+
+    #[test]
+    fn deep_levels_eventually_exceed_tag_latency() {
+        // 4-way: per-way pipeline depths are 1, 3, 9; with T_tag = 4 the
+        // level costs become 4, 4, 9.
+        assert_eq!(walk_latency_cycles(4, 1, 4), 4);
+        assert_eq!(walk_latency_cycles(4, 2, 4), 4 + 4);
+        assert_eq!(walk_latency_cycles(4, 3, 4), 4 + 4 + 9);
+    }
+
+    #[test]
+    fn walk_of_zero_levels_is_free() {
+        assert_eq!(walk_latency_cycles(4, 0, 4), 0);
+    }
+
+    #[test]
+    fn paper_design_points_hide_under_memory() {
+        // Z4/16 and Z4/52 with Table I latencies (bank ~8-cycle tags is
+        // pessimistic; 4-cycle sub-bank reads, 200-cycle memory).
+        assert!(replacement_hides_under_miss(4, 2, 4, 8, 200));
+        assert!(replacement_hides_under_miss(4, 3, 4, 8, 200));
+        // An absurdly deep walk does not.
+        assert!(!replacement_hides_under_miss(4, 6, 4, 8, 200));
+    }
+
+    #[test]
+    fn replacement_latency_monotone_in_relocations() {
+        let a = replacement_latency_cycles(4, 3, 0, 4, 8);
+        let b = replacement_latency_cycles(4, 3, 2, 4, 8);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,66 @@
+//! Bit-selection (identity) indexing.
+
+use crate::Hasher64;
+
+/// Conventional bit-selection indexing: the hash is the input itself, so
+/// [`Hasher64::index`] returns the low-order address bits.
+///
+/// This is what an unhashed set-associative cache does, and it is the
+/// baseline the paper's hashing comparisons are made against: strided
+/// access patterns map whole regions onto the same set, producing the
+/// conflict pathologies that hashing spreads out.
+///
+/// # Examples
+///
+/// ```
+/// use zhash::{BitSelect, Hasher64};
+///
+/// assert_eq!(BitSelect.index(0b1011_0101, 4), 0b0101);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct BitSelect;
+
+impl BitSelect {
+    /// Creates a bit-selection "hasher".
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Hasher64 for BitSelect {
+    #[inline]
+    fn hash(&self, x: u64) -> u64 {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_hash() {
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(BitSelect.hash(x), x);
+        }
+    }
+
+    #[test]
+    fn index_takes_low_bits() {
+        assert_eq!(BitSelect.index(0xabcd, 8), 0xcd);
+        assert_eq!(BitSelect.index(0xabcd, 0), 0);
+        assert_eq!(BitSelect.index(u64::MAX, 64), u64::MAX);
+    }
+
+    #[test]
+    fn strided_pattern_conflicts() {
+        // The motivating pathology: a stride equal to the table size maps
+        // every reference to the same row.
+        let bits = 6;
+        let stride = 1u64 << bits;
+        let first = BitSelect.index(0x40, bits);
+        for k in 0..100 {
+            assert_eq!(BitSelect.index(0x40 + k * stride, bits), first);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Bloom filter for walk repeat-avoidance.
+
+use crate::mix::Mix64;
+use crate::Hasher64;
+
+/// A standard Bloom filter over `u64` keys.
+///
+/// §III-D of the zcache paper proposes inserting the addresses visited
+/// during a replacement walk into a Bloom filter and pruning already-seen
+/// addresses, which matters for small, highly-associative structures
+/// (L1s, TLBs) where a walk can cover a large fraction of the array.
+///
+/// The `k` probe positions are derived by double hashing
+/// (`h1 + i·h2`), which preserves the classic false-positive bound.
+///
+/// # Examples
+///
+/// ```
+/// use zhash::BloomFilter;
+///
+/// let mut f = BloomFilter::new(1024, 4);
+/// f.insert(7);
+/// assert!(f.contains(7));          // no false negatives, ever
+/// f.clear();
+/// assert!(!f.contains(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+    h1: Mix64,
+    h2: Mix64,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `hashes` probe positions
+    /// per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits == 0` or `hashes == 0`.
+    pub fn new(num_bits: u64, hashes: u32) -> Self {
+        assert!(num_bits > 0, "filter must have at least one bit");
+        assert!(hashes > 0, "filter must use at least one hash");
+        let words = num_bits.div_ceil(64) as usize;
+        Self {
+            bits: vec![0u64; words],
+            num_bits,
+            hashes,
+            h1: Mix64::new(0x9d5f_00d1),
+            h2: Mix64::new(0x0b10_0f11),
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter sized for `expected` keys at roughly a 1% false
+    /// positive rate (~9.6 bits/key, 7 hashes).
+    pub fn for_capacity(expected: u64) -> Self {
+        let bits = (expected.max(1)).saturating_mul(10).max(64);
+        Self::new(bits, 7)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let (a, b) = self.probes(key);
+        for i in 0..self.hashes {
+            let bit = self.position(a, b, i);
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership. May return false positives, never false
+    /// negatives.
+    pub fn contains(&self, key: u64) -> bool {
+        let (a, b) = self.probes(key);
+        (0..self.hashes).all(|i| {
+            let bit = self.position(a, b, i);
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Inserts `key` and reports whether it may have been present already.
+    ///
+    /// This is the walk-dedup primitive: "skip this candidate if we have
+    /// likely seen it before on this walk".
+    pub fn test_and_insert(&mut self, key: u64) -> bool {
+        let seen = self.contains(key);
+        self.insert(key);
+        seen
+    }
+
+    /// Resets the filter to empty.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Number of `insert` calls since the last `clear`.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Capacity in bits.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    fn probes(&self, key: u64) -> (u64, u64) {
+        (self.h1.hash(key), self.h2.hash(key) | 1)
+    }
+
+    #[inline]
+    fn position(&self, a: u64, b: u64, i: u32) -> u64 {
+        a.wrapping_add(b.wrapping_mul(u64::from(i))) % self.num_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(4096, 5);
+        for k in 0..200u64 {
+            f.insert(k * 31 + 7);
+        }
+        for k in 0..200u64 {
+            assert!(f.contains(k * 31 + 7));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::for_capacity(1000);
+        for k in 0..1000u64 {
+            f.insert(k);
+        }
+        let mut fp = 0;
+        for k in 1_000_000..1_010_000u64 {
+            if f.contains(k) {
+                fp += 1;
+            }
+        }
+        // ~1% design point; accept up to 3%.
+        assert!(fp < 300, "false positives: {fp}/10000");
+    }
+
+    #[test]
+    fn test_and_insert_semantics() {
+        let mut f = BloomFilter::new(1 << 16, 4);
+        assert!(!f.test_and_insert(42));
+        assert!(f.test_and_insert(42));
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut f = BloomFilter::new(256, 3);
+        f.insert(1);
+        f.insert(2);
+        assert_eq!(f.inserted(), 2);
+        f.clear();
+        assert_eq!(f.inserted(), 0);
+        assert!(!f.contains(1));
+        assert!(!f.contains(2));
+    }
+
+    #[test]
+    fn works_with_single_bit() {
+        // Degenerate but legal: everything collides.
+        let mut f = BloomFilter::new(1, 1);
+        f.insert(10);
+        assert!(f.contains(10));
+        assert!(f.contains(11)); // guaranteed false positive
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        BloomFilter::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn zero_hashes_panics() {
+        BloomFilter::new(64, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! MESI-style directory kept alongside the inclusive L2.
+
+use std::collections::HashMap;
+use zcache_core::LineAddr;
+
+/// Directory state for one L2-resident line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of cores whose L1 may hold the line.
+    pub sharers: u64,
+    /// Core holding the line modified in its L1, if any.
+    pub owner: Option<u32>,
+}
+
+impl DirEntry {
+    /// Sharers other than `core`.
+    pub fn other_sharers(&self, core: u32) -> u64 {
+        self.sharers & !(1u64 << core)
+    }
+}
+
+/// The full-map directory of the shared L2 (Table I: "MESI directory
+/// coherence"). An entry exists exactly for lines resident in the L2
+/// (inclusive hierarchy), tracking which L1s hold copies and which, if
+/// any, holds the line modified.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a line's entry.
+    pub fn get(&self, line: LineAddr) -> Option<DirEntry> {
+        self.entries.get(&line).copied()
+    }
+
+    /// Registers a line on L2 fill, with `core` as its first sharer.
+    pub fn insert(&mut self, line: LineAddr, core: u32, modified: bool) {
+        self.entries.insert(
+            line,
+            DirEntry {
+                sharers: 1 << core,
+                owner: modified.then_some(core),
+            },
+        );
+    }
+
+    /// Adds a reader. Returns the previous dirty owner if it was a
+    /// different core (which must then be downgraded).
+    pub fn add_sharer(&mut self, line: LineAddr, core: u32) -> Option<u32> {
+        let e = self.entries.entry(line).or_default();
+        let prev_owner = e.owner.filter(|&o| o != core);
+        if prev_owner.is_some() {
+            e.owner = None; // downgraded to shared, L2 copy now up to date
+        }
+        e.sharers |= 1 << core;
+        prev_owner
+    }
+
+    /// Makes `core` the exclusive modified owner. Returns the bitmask of
+    /// other sharers that must be invalidated.
+    pub fn make_owner(&mut self, line: LineAddr, core: u32) -> u64 {
+        let e = self.entries.entry(line).or_default();
+        let others = e.other_sharers(core);
+        e.sharers = 1 << core;
+        e.owner = Some(core);
+        others
+    }
+
+    /// Drops `core` from a line's sharers (L1 eviction); clears ownership
+    /// if `core` owned it.
+    pub fn remove_sharer(&mut self, line: LineAddr, core: u32) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1u64 << core);
+            if e.owner == Some(core) {
+                e.owner = None;
+            }
+        }
+    }
+
+    /// Removes a line on L2 eviction, returning the sharer mask whose L1
+    /// copies must be back-invalidated.
+    pub fn remove(&mut self, line: LineAddr) -> u64 {
+        self.entries.remove(&line).map(|e| e.sharers).unwrap_or(0)
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory tracks no lines.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Iterates the set cores in a sharer bitmask.
+pub fn cores_in(mask: u64) -> impl Iterator<Item = u32> {
+    (0..64u32).filter(move |c| mask & (1 << c) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_share() {
+        let mut d = Directory::new();
+        d.insert(10, 0, false);
+        assert_eq!(d.add_sharer(10, 1), None);
+        let e = d.get(10).unwrap();
+        assert_eq!(e.sharers, 0b11);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn read_of_modified_line_downgrades_owner() {
+        let mut d = Directory::new();
+        d.insert(10, 2, true);
+        assert_eq!(d.add_sharer(10, 5), Some(2));
+        let e = d.get(10).unwrap();
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharers, (1 << 2) | (1 << 5));
+        // Owner re-reading its own line needs no downgrade.
+        d.insert(11, 3, true);
+        assert_eq!(d.add_sharer(11, 3), None);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        d.insert(10, 0, false);
+        d.add_sharer(10, 1);
+        d.add_sharer(10, 2);
+        let to_invalidate = d.make_owner(10, 1);
+        assert_eq!(to_invalidate, (1 << 0) | (1 << 2));
+        let e = d.get(10).unwrap();
+        assert_eq!(e.sharers, 1 << 1);
+        assert_eq!(e.owner, Some(1));
+    }
+
+    #[test]
+    fn remove_sharer_clears_ownership() {
+        let mut d = Directory::new();
+        d.insert(7, 4, true);
+        d.remove_sharer(7, 4);
+        let e = d.get(7).unwrap();
+        assert_eq!(e.sharers, 0);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn remove_returns_back_invalidation_mask() {
+        let mut d = Directory::new();
+        d.insert(9, 0, false);
+        d.add_sharer(9, 3);
+        assert_eq!(d.remove(9), 0b1001);
+        assert_eq!(d.remove(9), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cores_in_mask() {
+        let v: Vec<u32> = cores_in(0b1010_0001).collect();
+        assert_eq!(v, vec![0, 5, 7]);
+    }
+}

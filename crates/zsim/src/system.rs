@@ -1,0 +1,421 @@
+//! Execution-driven simulation of the Table I CMP.
+
+use crate::bankport::BankPorts;
+use crate::coherence::{cores_in, Directory};
+use crate::config::SimConfig;
+use crate::mem::MemoryChannels;
+use crate::stats::SimStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use zcache_core::{ArrayKind, CacheBuilder, DynCache, PolicyKind};
+use zhash::{HashKind, Hasher64, Mix64};
+use zworkloads::{AddressStream, Workload};
+
+/// The simulated machine: 32 in-order cores (IPC = 1 except on memory
+/// stalls), private 4-way L1s, a shared banked L2 of the configured
+/// design, a MESI directory, and bandwidth-limited memory controllers.
+///
+/// Cores advance on a global event heap ordered by cycle, so the
+/// interleaving is deterministic for a given configuration and seed.
+///
+/// # Examples
+///
+/// ```
+/// use zsim::{SimConfig, System};
+/// use zworkloads::{suite, suite::Scale};
+///
+/// let mut cfg = SimConfig::small();
+/// cfg.cores = 4;
+/// cfg.instrs_per_core = 10_000;
+/// let wl = suite::by_name("swaptions", 4, Scale::SMALL).unwrap();
+/// let stats = System::new(cfg).run(&wl);
+/// assert!(stats.instructions >= 4 * 10_000);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SimConfig,
+    l2_latency: u32,
+    l1s: Vec<DynCache>,
+    banks: Vec<DynCache>,
+    dir: Directory,
+    mem: MemoryChannels,
+    ports: BankPorts,
+    bank_hash: Mix64,
+    invalidation_rounds: u64,
+    downgrades: u64,
+    back_invalidations: u64,
+    coh_l2_data_writes: u64,
+}
+
+impl System {
+    /// Builds the machine for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L2 policy is [`PolicyKind::Opt`] (OPT needs future
+    /// knowledge; use [`crate::trace`]'s record/replay mode), or if the
+    /// cache geometry is invalid.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(
+            cfg.l2.policy != PolicyKind::Opt,
+            "OPT requires trace-driven simulation; use zsim::trace::record_trace + replay"
+        );
+        let l2_latency = cfg.effective_l2_latency();
+        let l1s = (0..cfg.cores)
+            .map(|c| {
+                CacheBuilder::new()
+                    .lines(cfg.l1_lines)
+                    .ways(cfg.l1_ways)
+                    .array(ArrayKind::SetAssoc {
+                        hash: HashKind::BitSelect,
+                    })
+                    .policy(PolicyKind::Lru)
+                    .seed(cfg.seed ^ u64::from(c))
+                    .build()
+            })
+            .collect();
+        let banks = (0..cfg.l2_banks)
+            .map(|b| {
+                CacheBuilder::new()
+                    .lines(cfg.lines_per_bank())
+                    .ways(cfg.l2.ways)
+                    .array(cfg.l2.array)
+                    .policy(cfg.l2.policy)
+                    .seed(cfg.seed.wrapping_mul(31).wrapping_add(u64::from(b)))
+                    .build()
+            })
+            .collect();
+        let mem = MemoryChannels::new(
+            cfg.mem_controllers,
+            cfg.mem_latency,
+            cfg.mem_cycles_per_transfer,
+        );
+        Self {
+            l2_latency,
+            l1s,
+            banks,
+            dir: Directory::new(),
+            mem,
+            ports: BankPorts::new(cfg.l2_banks),
+            bank_hash: Mix64::new(cfg.seed ^ 0xba2c_u64),
+            invalidation_rounds: 0,
+            downgrades: 0,
+            back_invalidations: 0,
+            coh_l2_data_writes: 0,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, line: u64) -> usize {
+        (self.bank_hash.hash(line) % u64::from(self.cfg.l2_banks)) as usize
+    }
+
+    /// Handles one data reference; returns the stall cycles beyond the
+    /// single-cycle L1 pipeline.
+    pub fn access(&mut self, core: u32, line: u64, write: bool, next_use: u64, now: u64) -> u64 {
+        let mut stall = 0u64;
+        let out = self.l1s[core as usize].access_full(line, write, u64::MAX);
+
+        if out.hit {
+            if write {
+                // Upgrade: invalidate other sharers if any.
+                let entry = self.dir.get(line).unwrap_or_default();
+                if entry.owner != Some(core) {
+                    let others = self.dir.make_owner(line, core);
+                    if others != 0 {
+                        for c in cores_in(others) {
+                            if let Some(dirty) = self.l1s[c as usize].invalidate(line) {
+                                if dirty {
+                                    self.coh_l2_data_writes += 1;
+                                }
+                            }
+                        }
+                        self.invalidation_rounds += 1;
+                        stall += u64::from(self.cfg.coherence_penalty);
+                    }
+                }
+            }
+            return stall;
+        }
+
+        // L1 victim: update directory; write back dirty data to the
+        // inclusive L2.
+        if let Some(ev) = out.evicted {
+            self.dir.remove_sharer(ev, core);
+            if out.evicted_dirty {
+                let b = self.bank_of(ev);
+                if self.banks[b].contains(ev) {
+                    self.banks[b].access_full(ev, true, u64::MAX);
+                    // Posted write-back: occupies the tag port but does
+                    // not stall the core.
+                    self.ports.background(b, now, 1);
+                } else {
+                    // Inclusion transiently broken (should not happen);
+                    // spill straight to memory.
+                    self.mem.writeback(ev, now);
+                }
+            }
+        }
+
+        // Demand access to the L2 bank: queue behind other demand
+        // accesses on this bank's tag port (walk traffic yields).
+        let b = self.bank_of(line);
+        stall += u64::from(self.cfg.l1_to_l2_latency) + u64::from(self.l2_latency);
+        stall += self.ports.demand(b, now + stall);
+        let tag_ops_before = self.banks[b].stats().tag_reads + self.banks[b].stats().tag_writes;
+        let lout = self.banks[b].access_full(line, false, next_use);
+        // Walk + relocation tag traffic beyond the (parallel) lookup
+        // occupies the port off the critical path.
+        let tag_ops =
+            self.banks[b].stats().tag_reads + self.banks[b].stats().tag_writes - tag_ops_before;
+        let walk_ops = tag_ops.saturating_sub(u64::from(self.cfg.l2.ways)) as u32;
+        if walk_ops > 0 {
+            self.ports.background(b, now + stall, walk_ops);
+        }
+
+        if lout.hit {
+            if write {
+                let others = self.dir.make_owner(line, core);
+                if others != 0 {
+                    for c in cores_in(others) {
+                        if let Some(dirty) = self.l1s[c as usize].invalidate(line) {
+                            if dirty {
+                                self.coh_l2_data_writes += 1;
+                            }
+                        }
+                    }
+                    self.invalidation_rounds += 1;
+                    stall += u64::from(self.cfg.coherence_penalty);
+                }
+            } else if let Some(_prev_owner) = self.dir.add_sharer(line, core) {
+                // A dirty copy lives in another L1: downgrade it and pull
+                // the data through the L2.
+                self.downgrades += 1;
+                self.coh_l2_data_writes += 1;
+                stall += u64::from(self.cfg.coherence_penalty);
+            }
+        } else {
+            // L2 miss: fetch from memory.
+            stall += self.mem.fetch(line, now + stall);
+            self.dir.insert(line, core, write);
+
+            // Inclusion victim: back-invalidate L1 copies.
+            if let Some(ev2) = lout.evicted {
+                let mask = self.dir.remove(ev2);
+                let mut dirty_in_l1 = false;
+                for c in cores_in(mask) {
+                    if let Some(d) = self.l1s[c as usize].invalidate(ev2) {
+                        self.back_invalidations += 1;
+                        dirty_in_l1 |= d;
+                    }
+                }
+                if lout.evicted_dirty || dirty_in_l1 {
+                    self.mem.writeback(ev2, now + stall);
+                }
+            }
+        }
+        stall
+    }
+
+    /// Runs `workload` until every core has executed its instruction
+    /// budget, returning merged statistics.
+    pub fn run(&mut self, workload: &Workload) -> SimStats {
+        let cores = self.cfg.cores as usize;
+        let budget = self.cfg.instrs_per_core;
+        let mut streams = workload.streams(cores, self.cfg.seed);
+        let mut instrs = vec![0u64; cores];
+        let mut cycles = vec![0u64; cores];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+            (0..cores as u32).map(|c| Reverse((0, c))).collect();
+
+        while let Some(Reverse((now, core))) = heap.pop() {
+            let c = core as usize;
+            let r = streams[c].next_ref();
+            instrs[c] += u64::from(r.gap);
+            let stall = self.access(core, r.line, r.write, u64::MAX, now);
+            let next = now + u64::from(r.gap) + stall;
+            cycles[c] = next;
+            if instrs[c] < budget {
+                heap.push(Reverse((next, core)));
+            }
+        }
+
+        self.build_stats(&instrs, &cycles)
+    }
+
+    fn build_stats(&self, instrs: &[u64], cycles: &[u64]) -> SimStats {
+        let mut l1 = zcache_core::CacheStats::new();
+        for c in &self.l1s {
+            l1.merge(c.stats());
+        }
+        let mut l2 = zcache_core::CacheStats::new();
+        for b in &self.banks {
+            l2.merge(b.stats());
+        }
+        l2.data_writes += self.coh_l2_data_writes;
+        SimStats {
+            instructions: instrs.iter().sum(),
+            max_cycles: cycles.iter().copied().max().unwrap_or(0),
+            sum_core_cycles: cycles.iter().sum(),
+            cores: self.cfg.cores,
+            banks: self.cfg.l2_banks,
+            l1,
+            l2,
+            mem_accesses: self.mem.accesses(),
+            mem_queue_cycles: self.mem.queue_cycles(),
+            invalidation_rounds: self.invalidation_rounds,
+            downgrades: self.downgrades,
+            back_invalidations: self.back_invalidations,
+            l2_tag_contention_cycles: self.ports.contention_cycles(),
+            l2_walk_delay_cycles: self.ports.walk_delay_cycles(),
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read access to the L2 banks (for inspection in tests/examples).
+    pub fn banks(&self) -> &[DynCache] {
+        &self.banks
+    }
+
+    /// Read access to the per-core L1s (for inspection in tests/examples).
+    pub fn l1s(&self) -> &[DynCache] {
+        &self.l1s
+    }
+
+    /// The L2 bank index `line` maps to.
+    pub fn bank_index(&self, line: u64) -> usize {
+        self.bank_of(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::L2Design;
+    use zworkloads::suite::{by_name, Scale};
+    use zworkloads::{Component, CoreSpec};
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::small();
+        cfg.cores = 4;
+        cfg.instrs_per_core = 20_000;
+        cfg
+    }
+
+    #[test]
+    fn runs_to_instruction_budget() {
+        let wl = by_name("swaptions", 4, Scale::SMALL).unwrap();
+        let stats = System::new(tiny_cfg()).run(&wl);
+        assert!(stats.instructions >= 4 * 20_000);
+        assert!(stats.max_cycles > 0);
+        assert!(stats.ipc() > 0.0);
+        assert!(stats.l1.accesses > 0);
+    }
+
+    #[test]
+    fn l1_resident_workload_barely_touches_l2() {
+        // blackscholes is the paper's L1-resident case: its steady-state
+        // L2 traffic is far below a miss-heavy workload's. (At this tiny
+        // scale cold misses dominate short runs, so compare relatively.)
+        let bs = System::new(tiny_cfg()).run(&by_name("blackscholes", 4, Scale::SMALL).unwrap());
+        let cn = System::new(tiny_cfg()).run(&by_name("canneal", 4, Scale::SMALL).unwrap());
+        assert!(
+            bs.l2_mpki() < cn.l2_mpki() / 3.0,
+            "blackscholes {} vs canneal {}",
+            bs.l2_mpki(),
+            cn.l2_mpki()
+        );
+    }
+
+    #[test]
+    fn miss_heavy_workload_stresses_memory() {
+        let wl = by_name("canneal", 4, Scale::SMALL).unwrap();
+        let stats = System::new(tiny_cfg()).run(&wl);
+        assert!(stats.l2_mpki() > 3.0, "canneal L2 MPKI {}", stats.l2_mpki());
+        assert!(stats.mem_accesses > 0);
+    }
+
+    #[test]
+    fn sharing_workload_generates_coherence_traffic() {
+        let wl = Workload::multithreaded(
+            "pingpong",
+            CoreSpec::new(vec![(1.0, Component::SharedUniform { lines: 32 })], 0.5, 4),
+        );
+        let stats = System::new(tiny_cfg()).run(&wl);
+        assert!(
+            stats.invalidation_rounds > 0,
+            "write sharing must invalidate"
+        );
+        assert!(stats.downgrades > 0, "read-after-write must downgrade");
+    }
+
+    #[test]
+    fn inclusion_back_invalidates() {
+        // A working set far bigger than the L2 forces L2 evictions of
+        // L1-resident lines.
+        let wl = by_name("mcf", 4, Scale::SMALL).unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.instrs_per_core = 50_000;
+        let stats = System::new(cfg).run(&wl);
+        assert!(stats.back_invalidations > 0);
+    }
+
+    #[test]
+    fn walk_traffic_fills_idle_port_cycles() {
+        // §VI-D in the simulator: zcache walks consume real tag-port
+        // cycles but yield to demand lookups, so they are delayed into
+        // the idle gaps while demand contention stays negligible.
+        let wl = by_name("canneal", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg().with_l2(L2Design::zcache(4, 3));
+        let stats = System::new(cfg).run(&wl);
+        assert!(
+            stats.l2_walk_delay_cycles > 0,
+            "walk traffic must queue into idle cycles"
+        );
+        let frac = stats.l2_tag_contention_cycles as f64 / stats.max_cycles as f64;
+        assert!(frac < 0.05, "demand contention should be tiny: {frac}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = by_name("gcc", 4, Scale::SMALL).unwrap();
+        let a = System::new(tiny_cfg()).run(&wl);
+        let b = System::new(tiny_cfg()).run(&wl);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zcache_design_runs() {
+        let wl = by_name("cactusADM", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg().with_l2(L2Design::zcache(4, 3));
+        let stats = System::new(cfg).run(&wl);
+        assert!(stats.l2.relocations > 0, "zcache must relocate");
+        assert!(stats.l2.avg_candidates() > 4.0);
+    }
+
+    #[test]
+    fn higher_associativity_does_not_hurt_mpki_much() {
+        let wl = by_name("cactusADM", 4, Scale::SMALL).unwrap();
+        let base = System::new(tiny_cfg()).run(&wl);
+        let z = System::new(tiny_cfg().with_l2(L2Design::zcache(4, 3))).run(&wl);
+        // Allow noise, but Z4/52 should not be clearly worse than SA-4.
+        assert!(
+            z.l2_mpki() <= base.l2_mpki() * 1.05,
+            "Z4/52 {} vs SA-4 {}",
+            z.l2_mpki(),
+            base.l2_mpki()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "OPT requires trace-driven")]
+    fn opt_in_execution_mode_panics() {
+        let cfg = tiny_cfg().with_l2(L2Design::baseline().with_policy(PolicyKind::Opt));
+        let _ = System::new(cfg);
+    }
+}

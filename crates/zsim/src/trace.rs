@@ -1,0 +1,362 @@
+//! Trace-driven simulation: record the L2 reference stream once, then
+//! replay it against any L2 design.
+//!
+//! This is how the paper runs OPT (§VI-B): Belady's policy needs the
+//! future, so the L2 stream is recorded with fixed L1s and replayed with
+//! next-use annotations. Replaying the *same* trace against every design
+//! also removes the (second-order) feedback of inclusion victims on L1
+//! contents, which the paper's trace-driven mode accepts as well.
+
+use crate::config::SimConfig;
+use crate::mem::MemoryChannels;
+use crate::stats::SimStats;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use zcache_core::{ArrayKind, CacheBuilder, CacheStats, PolicyKind};
+use zhash::{HashKind, Hasher64, Mix64};
+use zworkloads::{AddressStream, Workload};
+
+/// One recorded L2 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Issuing core.
+    pub core: u32,
+    /// Line address.
+    pub line: u64,
+    /// Store (write-back or store-miss fill) vs load.
+    pub write: bool,
+    /// Demand access (stalls the core) vs posted write-back.
+    pub demand: bool,
+    /// Core work (instructions ≡ cycles at IPC = 1) since this core's
+    /// previous L2 access.
+    pub work: u32,
+}
+
+/// A recorded L2 reference stream plus the L1-side statistics of the
+/// recording run (reused for every replay so energy accounting stays
+/// comparable).
+#[derive(Debug, Clone, Default)]
+pub struct L2Trace {
+    /// Global-order references.
+    pub refs: Vec<TraceRef>,
+    /// Instructions the recording run executed.
+    pub instructions: u64,
+    /// Cores recorded.
+    pub cores: u32,
+    /// Merged L1 statistics of the recording run.
+    pub l1_stats: CacheStats,
+}
+
+impl L2Trace {
+    /// Number of recorded references.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Computes, for each reference, the position of the next reference
+    /// to the same line (`u64::MAX` if never) — the OPT oracle.
+    pub fn next_uses(&self) -> Vec<u64> {
+        let mut next = vec![u64::MAX; self.refs.len()];
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for (i, r) in self.refs.iter().enumerate().rev() {
+            if let Some(&later) = last.get(&r.line) {
+                next[i] = later;
+            }
+            last.insert(r.line, i as u64);
+        }
+        next
+    }
+}
+
+/// Runs `workload` through per-core L1s (no timing-accurate L2) and
+/// records the resulting L2 reference stream.
+///
+/// Cores are interleaved on a cycle heap with a fixed nominal L1-miss
+/// penalty, so the interleaving is deterministic and design-independent.
+pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
+    const NOMINAL_MISS_STALL: u64 = 30;
+    let cores = cfg.cores as usize;
+    let mut l1s: Vec<_> = (0..cfg.cores)
+        .map(|c| {
+            CacheBuilder::new()
+                .lines(cfg.l1_lines)
+                .ways(cfg.l1_ways)
+                .array(ArrayKind::SetAssoc {
+                    hash: HashKind::BitSelect,
+                })
+                .policy(PolicyKind::Lru)
+                .seed(cfg.seed ^ u64::from(c))
+                .build()
+        })
+        .collect();
+    let mut streams = workload.streams(cores, cfg.seed);
+    let mut instrs = vec![0u64; cores];
+    let mut pending_work = vec![0u32; cores];
+    let mut refs = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..cfg.cores).map(|c| Reverse((0, c))).collect();
+
+    while let Some(Reverse((now, core))) = heap.pop() {
+        let c = core as usize;
+        let r = streams[c].next_ref();
+        instrs[c] += u64::from(r.gap);
+        pending_work[c] = pending_work[c].saturating_add(r.gap);
+        let out = l1s[c].access_full(r.line, r.write, u64::MAX);
+        let mut next = now + u64::from(r.gap);
+        if out.is_miss() {
+            if let (Some(ev), true) = (out.evicted, out.evicted_dirty) {
+                refs.push(TraceRef {
+                    core,
+                    line: ev,
+                    write: true,
+                    demand: false,
+                    work: 0,
+                });
+            }
+            refs.push(TraceRef {
+                core,
+                line: r.line,
+                write: r.write,
+                demand: true,
+                work: pending_work[c],
+            });
+            pending_work[c] = 0;
+            next += NOMINAL_MISS_STALL;
+        }
+        if instrs[c] < cfg.instrs_per_core {
+            heap.push(Reverse((next, core)));
+        }
+    }
+
+    let mut l1_stats = CacheStats::new();
+    for l1 in &l1s {
+        l1_stats.merge(l1.stats());
+    }
+    L2Trace {
+        refs,
+        instructions: instrs.iter().sum(),
+        cores: cfg.cores,
+        l1_stats,
+    }
+}
+
+/// Replays a recorded trace against the configured L2 design, with full
+/// timing (bank latency, memory queueing) and next-use annotations so
+/// [`PolicyKind::Opt`] works.
+pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
+    let cores = trace.cores.max(1) as usize;
+    let l2_latency = cfg.effective_l2_latency();
+    let mut banks: Vec<_> = (0..cfg.l2_banks)
+        .map(|b| {
+            CacheBuilder::new()
+                .lines(cfg.lines_per_bank())
+                .ways(cfg.l2.ways)
+                .array(cfg.l2.array)
+                .policy(cfg.l2.policy)
+                .seed(cfg.seed.wrapping_mul(31).wrapping_add(u64::from(b)))
+                .build()
+        })
+        .collect();
+    let bank_hash = Mix64::new(cfg.seed ^ 0xba2c_u64);
+    let bank_of =
+        |line: u64| -> usize { (bank_hash.hash(line) % u64::from(cfg.l2_banks)) as usize };
+    let mut mem = MemoryChannels::new(
+        cfg.mem_controllers,
+        cfg.mem_latency,
+        cfg.mem_cycles_per_transfer,
+    );
+    let mut ports = crate::bankport::BankPorts::new(cfg.l2_banks);
+
+    let next_uses = trace.next_uses();
+
+    // Per-core reference queues, in global order.
+    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); cores];
+    for (i, r) in trace.refs.iter().enumerate() {
+        queues[r.core as usize].push(i as u32);
+    }
+    let mut heads = vec![0usize; cores];
+    let mut cycles = vec![0u64; cores];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..cores as u32)
+        .filter(|&c| !queues[c as usize].is_empty())
+        .map(|c| Reverse((0, c)))
+        .collect();
+
+    while let Some(Reverse((now, core))) = heap.pop() {
+        let c = core as usize;
+        let pos = queues[c][heads[c]] as usize;
+        heads[c] += 1;
+        let r = &trace.refs[pos];
+        let mut next = now + u64::from(r.work);
+
+        let b = bank_of(r.line);
+        if r.demand {
+            let mut stall = u64::from(cfg.l1_to_l2_latency) + u64::from(l2_latency);
+            stall += ports.demand(b, next + stall);
+            let ops_before = banks[b].stats().tag_reads + banks[b].stats().tag_writes;
+            let lout = banks[b].access_full(r.line, r.write, next_uses[pos]);
+            let walk_ops = (banks[b].stats().tag_reads + banks[b].stats().tag_writes - ops_before)
+                .saturating_sub(u64::from(cfg.l2.ways)) as u32;
+            if walk_ops > 0 {
+                ports.background(b, next + stall, walk_ops);
+            }
+            if lout.is_miss() {
+                stall += mem.fetch(r.line, next + stall);
+                if let (Some(ev), true) = (lout.evicted, lout.evicted_dirty) {
+                    mem.writeback(ev, next + stall);
+                }
+            }
+            next += stall;
+        } else {
+            // Posted write-back: touch the L2 copy if still resident,
+            // spill to memory otherwise; never stalls the core.
+            if banks[b].contains(r.line) {
+                banks[b].access_full(r.line, true, next_uses[pos]);
+                ports.background(b, next, 1);
+            } else {
+                mem.writeback(r.line, next);
+            }
+        }
+
+        cycles[c] = next;
+        if heads[c] < queues[c].len() {
+            heap.push(Reverse((next, core)));
+        }
+    }
+
+    let mut l2 = CacheStats::new();
+    for bank in &banks {
+        l2.merge(bank.stats());
+    }
+    SimStats {
+        instructions: trace.instructions,
+        max_cycles: cycles.iter().copied().max().unwrap_or(0),
+        sum_core_cycles: cycles.iter().sum(),
+        cores: trace.cores,
+        banks: cfg.l2_banks,
+        l1: trace.l1_stats.clone(),
+        l2,
+        mem_accesses: mem.accesses(),
+        mem_queue_cycles: mem.queue_cycles(),
+        invalidation_rounds: 0,
+        downgrades: 0,
+        back_invalidations: 0,
+        l2_tag_contention_cycles: ports.contention_cycles(),
+        l2_walk_delay_cycles: ports.walk_delay_cycles(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::L2Design;
+    use zworkloads::suite::{by_name, Scale};
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::small();
+        cfg.cores = 4;
+        cfg.instrs_per_core = 30_000;
+        cfg
+    }
+
+    #[test]
+    fn record_produces_demand_refs_and_work() {
+        let wl = by_name("gcc", 4, Scale::SMALL).unwrap();
+        let t = record_trace(&tiny_cfg(), &wl);
+        assert!(!t.is_empty());
+        assert!(t.instructions >= 4 * 30_000);
+        assert!(t.refs.iter().any(|r| r.demand));
+        let total_work: u64 = t.refs.iter().map(|r| u64::from(r.work)).sum();
+        assert!(total_work <= t.instructions);
+    }
+
+    #[test]
+    fn record_is_deterministic() {
+        let wl = by_name("mcf", 4, Scale::SMALL).unwrap();
+        let a = record_trace(&tiny_cfg(), &wl);
+        let b = record_trace(&tiny_cfg(), &wl);
+        assert_eq!(a.refs, b.refs);
+    }
+
+    #[test]
+    fn next_uses_point_forward_to_same_line() {
+        let wl = by_name("gcc", 4, Scale::SMALL).unwrap();
+        let t = record_trace(&tiny_cfg(), &wl);
+        let nu = t.next_uses();
+        for (i, r) in t.refs.iter().enumerate().take(2_000) {
+            let n = nu[i];
+            if n != u64::MAX {
+                assert!(n > i as u64);
+                assert_eq!(t.refs[n as usize].line, r.line);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_under_lru_roughly_matches_execution_mpki() {
+        // Trace-driven LRU and execution-driven LRU differ only in
+        // inclusion feedback and coherence, so MPKI should be close.
+        let wl = by_name("cactusADM", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        let replayed = replay(&cfg, &t);
+        let executed = crate::System::new(cfg).run(&wl);
+        let (a, b) = (replayed.l2_mpki(), executed.l2_mpki());
+        assert!(
+            (a - b).abs() / b.max(1e-9) < 0.35,
+            "trace {a} vs exec {b} MPKI"
+        );
+    }
+
+    #[test]
+    fn opt_beats_lru_on_reuse_heavy_trace() {
+        let wl = by_name("cactusADM", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        let lru = replay(&cfg, &t);
+        let opt_cfg = cfg.with_l2(L2Design::baseline().with_policy(PolicyKind::Opt));
+        let opt = replay(&opt_cfg, &t);
+        assert!(
+            opt.l2.misses <= lru.l2.misses,
+            "OPT {} vs LRU {} misses",
+            opt.l2.misses,
+            lru.l2.misses
+        );
+    }
+
+    #[test]
+    fn more_candidates_do_not_increase_opt_misses() {
+        // Under OPT, associativity can only help (no policy ill-effects):
+        // Z4/52 must not miss more than SA-4 on the same trace.
+        let wl = by_name("omnetpp", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        let sa = replay(
+            &cfg.clone()
+                .with_l2(L2Design::baseline().with_policy(PolicyKind::Opt)),
+            &t,
+        );
+        let z = replay(
+            &cfg.with_l2(L2Design::zcache(4, 3).with_policy(PolicyKind::Opt)),
+            &t,
+        );
+        assert!(
+            z.l2.misses as f64 <= sa.l2.misses as f64 * 1.02,
+            "Z4/52 {} vs SA-4 {}",
+            z.l2.misses,
+            sa.l2.misses
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let wl = by_name("milc", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        assert_eq!(replay(&cfg, &t), replay(&cfg, &t));
+    }
+}

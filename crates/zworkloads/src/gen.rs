@@ -1,0 +1,655 @@
+//! Stream generators and workload specifications.
+
+use crate::zipf::ZipfTable;
+use crate::AddressStream;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zhash::SplitMix64;
+
+/// One memory reference produced by a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Line address (block address; the line offset is already stripped).
+    pub line: u64,
+    /// Whether this is a store.
+    pub write: bool,
+    /// Instructions consumed by this reference, including the memory
+    /// instruction itself (so `gap >= 1`); the preceding `gap − 1`
+    /// instructions are non-memory work at IPC = 1.
+    pub gap: u32,
+}
+
+/// A locality component of a core's reference stream.
+///
+/// Private components are placed in per-core regions of the 64-bit line
+/// space; [`Component::SharedUniform`] uses one region common to all
+/// cores of the workload (the source of coherence traffic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Component {
+    /// Uniform references over a private working set of `lines` lines.
+    WorkingSet {
+        /// Footprint in cache lines.
+        lines: u64,
+    },
+    /// Zipf(`s`)-distributed references over `lines` lines (temporal
+    /// locality: low ranks are hot). Ranks map to *contiguous* line
+    /// addresses, as in a sequentially-allocated array.
+    Zipf {
+        /// Footprint in cache lines.
+        lines: u64,
+        /// Zipf exponent (0 = uniform, 1 = classic).
+        s: f64,
+    },
+    /// Like [`Component::Zipf`], but ranks are scattered pseudo-randomly
+    /// over a region ~2× the footprint (a bijective affine permutation),
+    /// modelling non-contiguous allocations such as virtual pages — the
+    /// layout where bit-selection indexing develops hot-set conflicts.
+    ZipfScattered {
+        /// Footprint in cache lines.
+        lines: u64,
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// A cyclic strided scan over `lines` lines — the anti-LRU pattern:
+    /// when `lines` exceeds the cache, LRU misses on every reference.
+    Strided {
+        /// Scan length in lines.
+        lines: u64,
+        /// Stride in lines (coprime with `lines` for full coverage).
+        stride: u64,
+    },
+    /// A pseudo-random pointer chase visiting all `lines` lines in a full
+    /// LCG cycle (no short-term reuse at all).
+    Chase {
+        /// Footprint in cache lines (rounded up to a power of two).
+        lines: u64,
+    },
+    /// Uniform references over a `lines`-line region shared by all cores.
+    SharedUniform {
+        /// Shared footprint in cache lines.
+        lines: u64,
+    },
+}
+
+impl Component {
+    fn footprint(&self) -> u64 {
+        match *self {
+            Component::WorkingSet { lines }
+            | Component::Zipf { lines, .. }
+            | Component::ZipfScattered { lines, .. }
+            | Component::Strided { lines, .. }
+            | Component::Chase { lines }
+            | Component::SharedUniform { lines } => lines,
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        matches!(self, Component::SharedUniform { .. })
+    }
+}
+
+/// The reference-stream recipe for one core: weighted components plus a
+/// store fraction and a mean instruction gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    components: Vec<(f64, Component)>,
+    write_frac: f64,
+    mean_gap: u32,
+}
+
+impl CoreSpec {
+    /// Creates a spec from `(weight, component)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty, all weights are non-positive,
+    /// `write_frac` is outside `[0, 1]`, or `mean_gap == 0`.
+    pub fn new(components: Vec<(f64, Component)>, write_frac: f64, mean_gap: u32) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        assert!(
+            components.iter().map(|(w, _)| *w).sum::<f64>() > 0.0,
+            "weights must have positive mass"
+        );
+        assert!(
+            (0.0..=1.0).contains(&write_frac),
+            "write fraction must be in [0, 1]"
+        );
+        assert!(mean_gap >= 1, "mean gap must be at least 1");
+        Self {
+            components,
+            write_frac,
+            mean_gap,
+        }
+    }
+
+    /// The component list.
+    pub fn components(&self) -> &[(f64, Component)] {
+        &self.components
+    }
+
+    /// Store fraction.
+    pub fn write_frac(&self) -> f64 {
+        self.write_frac
+    }
+
+    /// Mean instructions per memory reference.
+    pub fn mean_gap(&self) -> u32 {
+        self.mean_gap
+    }
+
+    /// Total footprint (sum of component footprints), in lines.
+    pub fn footprint(&self) -> u64 {
+        self.components.iter().map(|(_, c)| c.footprint()).sum()
+    }
+}
+
+/// A named workload: one [`CoreSpec`] per core (or a single spec
+/// replicated across all cores).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    specs: Vec<CoreSpec>,
+    multithreaded: bool,
+}
+
+impl Workload {
+    /// A workload running the same spec on every core.
+    ///
+    /// `multithreaded` is false: each core gets a private copy of every
+    /// non-shared component (the paper's "multiprogrammed" runs of one
+    /// CPU2006 program per core).
+    pub fn uniform(name: impl Into<String>, spec: CoreSpec) -> Self {
+        Self {
+            name: name.into(),
+            specs: vec![spec],
+            multithreaded: false,
+        }
+    }
+
+    /// A multithreaded workload: same spec per core, with
+    /// [`Component::SharedUniform`] components referring to common data.
+    pub fn multithreaded(name: impl Into<String>, spec: CoreSpec) -> Self {
+        Self {
+            name: name.into(),
+            specs: vec![spec],
+            multithreaded: true,
+        }
+    }
+
+    /// A multiprogrammed mix with an explicit spec per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn mix(name: impl Into<String>, specs: Vec<CoreSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one spec");
+        Self {
+            name: name.into(),
+            specs,
+            multithreaded: false,
+        }
+    }
+
+    /// Workload name (stable across runs; used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether cores share data.
+    pub fn is_multithreaded(&self) -> bool {
+        self.multithreaded
+    }
+
+    /// The spec that core `core` runs.
+    pub fn spec_for_core(&self, core: usize) -> &CoreSpec {
+        &self.specs[core % self.specs.len()]
+    }
+
+    /// Aggregate footprint across `cores` cores, counting shared
+    /// components once.
+    pub fn total_footprint(&self, cores: usize) -> u64 {
+        let mut total = 0u64;
+        let mut shared_seen: u64 = 0;
+        for core in 0..cores {
+            for (_, c) in self.spec_for_core(core).components() {
+                if c.is_shared() {
+                    shared_seen = shared_seen.max(c.footprint());
+                } else {
+                    total += c.footprint();
+                }
+            }
+        }
+        total + shared_seen
+    }
+
+    /// Builds one deterministic stream per core.
+    ///
+    /// Zipf tables are built once per distinct `(lines, s)` and shared
+    /// across cores.
+    pub fn streams(&self, cores: usize, seed: u64) -> Vec<CoreStream> {
+        let mut zipf_cache: HashMap<(u64, u64), Arc<ZipfTable>> = HashMap::new();
+        (0..cores)
+            .map(|core| {
+                CoreStream::build(self.spec_for_core(core), core as u64, seed, &mut zipf_cache)
+            })
+            .collect()
+    }
+}
+
+/// Region-placement constants: each (core, component) pair owns a
+/// disjoint slice of the 64-bit line space; shared components collapse to
+/// a core-independent region.
+const CORE_SHIFT: u32 = 44;
+const COMP_SHIFT: u32 = 36;
+const SHARED_CORE: u64 = 0xfff;
+
+enum GenState {
+    Uniform {
+        base: u64,
+        lines: u64,
+    },
+    Zipf {
+        base: u64,
+        table: Arc<ZipfTable>,
+        /// Optional rank scattering: a random permutation mapping rank
+        /// `r` to a line within a 2× region (None = contiguous).
+        scatter: Option<Arc<[u32]>>,
+    },
+    Strided {
+        base: u64,
+        lines: u64,
+        stride: u64,
+        pos: u64,
+    },
+    /// Full-period LCG over a power-of-two range: `next = a·x + c mod 2^k`
+    /// with `a ≡ 5 (mod 8)` and odd `c` visits every line exactly once
+    /// per cycle — a pointer chase without storing a permutation.
+    Chase {
+        base: u64,
+        mask: u64,
+        mult: u64,
+        inc: u64,
+        pos: u64,
+    },
+}
+
+impl GenState {
+    fn next_line(&mut self, rng: &mut SplitMix64) -> u64 {
+        match self {
+            GenState::Uniform { base, lines } => *base + rng.next_below(*lines),
+            GenState::Zipf {
+                base,
+                table,
+                scatter,
+            } => {
+                let rank = table.sample(rng);
+                match scatter {
+                    None => *base + rank,
+                    Some(perm) => *base + u64::from(perm[rank as usize]),
+                }
+            }
+            GenState::Strided {
+                base,
+                lines,
+                stride,
+                pos,
+            } => {
+                *pos = (*pos + *stride) % *lines;
+                *base + *pos
+            }
+            GenState::Chase {
+                base,
+                mask,
+                mult,
+                inc,
+                pos,
+            } => {
+                *pos = pos.wrapping_mul(*mult).wrapping_add(*inc) & *mask;
+                *base + *pos
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GenState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            GenState::Uniform { .. } => "Uniform",
+            GenState::Zipf { .. } => "Zipf",
+            GenState::Strided { .. } => "Strided",
+            GenState::Chase { .. } => "Chase",
+        };
+        f.debug_struct(name).finish_non_exhaustive()
+    }
+}
+
+/// One core's concrete reference stream (see [`CoreSpec`]).
+#[derive(Debug)]
+pub struct CoreStream {
+    gens: Vec<GenState>,
+    cum_weights: Vec<f64>,
+    write_frac: f64,
+    mean_gap: u32,
+    rng: SplitMix64,
+}
+
+impl CoreStream {
+    fn build(
+        spec: &CoreSpec,
+        core: u64,
+        seed: u64,
+        zipf_cache: &mut HashMap<(u64, u64), Arc<ZipfTable>>,
+    ) -> Self {
+        let mut gens = Vec::with_capacity(spec.components.len());
+        let mut cum_weights = Vec::with_capacity(spec.components.len());
+        let total: f64 = spec.components.iter().map(|(w, _)| *w).sum();
+        let mut acc = 0.0;
+        for (idx, (w, comp)) in spec.components.iter().enumerate() {
+            acc += *w / total;
+            cum_weights.push(acc);
+            let region_core = if comp.is_shared() { SHARED_CORE } else { core };
+            let base = (region_core << CORE_SHIFT) | ((idx as u64) << COMP_SHIFT);
+            let gen = match *comp {
+                Component::WorkingSet { lines } | Component::SharedUniform { lines } => {
+                    GenState::Uniform { base, lines }
+                }
+                Component::Zipf { lines, s } | Component::ZipfScattered { lines, s } => {
+                    let key = (lines, s.to_bits());
+                    let table = zipf_cache
+                        .entry(key)
+                        .or_insert_with(|| Arc::new(ZipfTable::new(lines, s)))
+                        .clone();
+                    let scatter = matches!(comp, Component::ZipfScattered { .. }).then(|| {
+                        assert!(
+                            lines <= 1 << 22,
+                            "scattered Zipf footprint too large to permute"
+                        );
+                        // Fisher–Yates permutation of a 2× region: hot
+                        // ranks land on unrelated line addresses, like
+                        // randomly-allocated virtual pages. Shared per
+                        // workload via the cache key's address region.
+                        let region = (lines * 2).max(2);
+                        let mut perm: Vec<u32> = (0..region as u32).collect();
+                        let mut prng = SplitMix64::new(seed ^ base ^ 0x5ca7);
+                        for i in (1..perm.len()).rev() {
+                            let j = prng.next_below(i as u64 + 1) as usize;
+                            perm.swap(i, j);
+                        }
+                        perm.truncate(lines as usize);
+                        Arc::from(perm.into_boxed_slice())
+                    });
+                    GenState::Zipf {
+                        base,
+                        table,
+                        scatter,
+                    }
+                }
+                Component::Strided { lines, stride } => GenState::Strided {
+                    base,
+                    lines,
+                    stride: stride.max(1),
+                    pos: 0,
+                },
+                Component::Chase { lines } => {
+                    let cap = lines.next_power_of_two().max(2);
+                    GenState::Chase {
+                        base,
+                        mask: cap - 1,
+                        // Full-period parameters derived from the seed.
+                        mult: (SplitMix64::new(seed ^ base).next_u64() & !7) | 5,
+                        inc: SplitMix64::new(seed ^ base ^ 1).next_u64() | 1,
+                        pos: 0,
+                    }
+                }
+            };
+            gens.push(gen);
+        }
+        // Last cumulative weight must be exactly 1.0 for the sampler.
+        if let Some(last) = cum_weights.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            gens,
+            cum_weights,
+            write_frac: spec.write_frac,
+            mean_gap: spec.mean_gap,
+            rng: SplitMix64::new(seed.wrapping_mul(0x9e37).wrapping_add(core)),
+        }
+    }
+}
+
+impl AddressStream for CoreStream {
+    fn next_ref(&mut self) -> MemRef {
+        let u = self.rng.next_f64();
+        let idx = self
+            .cum_weights
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.gens.len() - 1);
+        let line = self.gens[idx].next_line(&mut self.rng);
+        let write = self.rng.next_f64() < self.write_frac;
+        // Uniform in [1, 2·mean_gap − 1]: mean == mean_gap, min 1.
+        let gap = if self.mean_gap <= 1 {
+            1
+        } else {
+            1 + self.rng.next_below(u64::from(2 * self.mean_gap - 1)) as u32
+        };
+        MemRef { line, write, gap }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(components: Vec<(f64, Component)>) -> CoreSpec {
+        CoreSpec::new(components, 0.25, 10)
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let w = Workload::uniform(
+            "d",
+            spec(vec![(
+                1.0,
+                Component::Zipf {
+                    lines: 1000,
+                    s: 0.9,
+                },
+            )]),
+        );
+        let mut a = w.streams(2, 7);
+        let mut b = w.streams(2, 7);
+        for _ in 0..100 {
+            assert_eq!(a[0].next_ref(), b[0].next_ref());
+            assert_eq!(a[1].next_ref(), b[1].next_ref());
+        }
+    }
+
+    #[test]
+    fn private_regions_are_disjoint_across_cores() {
+        let w = Workload::uniform(
+            "p",
+            spec(vec![(1.0, Component::WorkingSet { lines: 4096 })]),
+        );
+        let mut streams = w.streams(4, 1);
+        let mut seen: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        for (i, s) in streams.iter_mut().enumerate() {
+            for _ in 0..1000 {
+                seen[i].insert(s.next_ref().line);
+            }
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(seen[i].is_disjoint(&seen[j]), "cores {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_region_is_common() {
+        let w = Workload::multithreaded(
+            "s",
+            spec(vec![(1.0, Component::SharedUniform { lines: 64 })]),
+        );
+        let mut streams = w.streams(2, 3);
+        let mut a = std::collections::HashSet::new();
+        let mut b = std::collections::HashSet::new();
+        for _ in 0..500 {
+            a.insert(streams[0].next_ref().line);
+            b.insert(streams[1].next_ref().line);
+        }
+        assert!(!a.is_disjoint(&b), "shared components must overlap");
+    }
+
+    #[test]
+    fn chase_visits_all_lines() {
+        let w = Workload::uniform("c", spec(vec![(1.0, Component::Chase { lines: 256 })]));
+        let mut s = w.streams(1, 9).remove(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            seen.insert(s.next_ref().line);
+        }
+        assert_eq!(seen.len(), 256, "full-period LCG must visit every line");
+    }
+
+    #[test]
+    fn strided_is_cyclic() {
+        let w = Workload::uniform(
+            "st",
+            spec(vec![(
+                1.0,
+                Component::Strided {
+                    lines: 10,
+                    stride: 3,
+                },
+            )]),
+        );
+        let mut s = w.streams(1, 1).remove(0);
+        let first: Vec<u64> = (0..10).map(|_| s.next_ref().line).collect();
+        let second: Vec<u64> = (0..10).map(|_| s.next_ref().line).collect();
+        assert_eq!(first, second, "stride-3 over 10 lines has period 10");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let w = Workload::uniform(
+            "w",
+            CoreSpec::new(vec![(1.0, Component::WorkingSet { lines: 100 })], 0.5, 5),
+        );
+        let mut s = w.streams(1, 11).remove(0);
+        let writes = (0..10_000).filter(|_| s.next_ref().write).count();
+        assert!((4_500..5_500).contains(&writes), "writes: {writes}");
+    }
+
+    #[test]
+    fn gap_mean_matches() {
+        let w = Workload::uniform(
+            "g",
+            CoreSpec::new(vec![(1.0, Component::WorkingSet { lines: 8 })], 0.0, 20),
+        );
+        let mut s = w.streams(1, 13).remove(0);
+        let total: u64 = (0..20_000).map(|_| u64::from(s.next_ref().gap)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((19.0..21.0).contains(&mean), "gap mean {mean}");
+    }
+
+    #[test]
+    fn mix_assigns_specs_round_robin() {
+        let a = spec(vec![(1.0, Component::WorkingSet { lines: 10 })]);
+        let b = spec(vec![(1.0, Component::WorkingSet { lines: 20 })]);
+        let w = Workload::mix("m", vec![a.clone(), b.clone()]);
+        assert_eq!(w.spec_for_core(0), &a);
+        assert_eq!(w.spec_for_core(1), &b);
+        assert_eq!(w.spec_for_core(2), &a);
+    }
+
+    #[test]
+    fn footprints() {
+        let s = spec(vec![
+            (0.5, Component::WorkingSet { lines: 100 }),
+            (0.5, Component::SharedUniform { lines: 50 }),
+        ]);
+        assert_eq!(s.footprint(), 150);
+        let w = Workload::multithreaded("f", s);
+        // 4 cores: 4 private copies + one shared region.
+        assert_eq!(w.total_footprint(4), 450);
+    }
+
+    #[test]
+    fn scattered_zipf_covers_footprint_without_contiguity() {
+        let w = Workload::uniform(
+            "sc",
+            spec(vec![(1.0, Component::ZipfScattered { lines: 96, s: 0.5 })]),
+        );
+        let mut s = w.streams(1, 5).remove(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            seen.insert(s.next_ref().line);
+        }
+        // All 96 ranks eventually referenced, scattered over a 2× region.
+        assert_eq!(seen.len(), 96);
+        let (min, max) = (*seen.iter().min().unwrap(), *seen.iter().max().unwrap());
+        assert!(max - min > 96, "pages should not be contiguous");
+        // No arithmetic-progression structure: consecutive ranks land on
+        // unrelated lines (check pairwise diffs are not constant).
+        let mut sorted: Vec<u64> = seen.into_iter().collect();
+        sorted.sort_unstable();
+        let diffs: std::collections::HashSet<u64> =
+            sorted.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(diffs.len() > 3, "layout looks strided: {diffs:?}");
+    }
+
+    #[test]
+    fn scattered_zipf_deterministic_per_seed() {
+        let w = Workload::uniform(
+            "sc",
+            spec(vec![(1.0, Component::ZipfScattered { lines: 64, s: 0.9 })]),
+        );
+        let mut a = w.streams(1, 7).remove(0);
+        let mut b = w.streams(1, 7).remove(0);
+        for _ in 0..200 {
+            assert_eq!(a.next_ref(), b.next_ref());
+        }
+    }
+
+    #[test]
+    fn component_weights_bias_sampling() {
+        let w = Workload::uniform(
+            "wt",
+            CoreSpec::new(
+                vec![
+                    (0.9, Component::WorkingSet { lines: 10 }),
+                    (0.1, Component::Chase { lines: 1024 }),
+                ],
+                0.0,
+                2,
+            ),
+        );
+        let mut s = w.streams(1, 17).remove(0);
+        let mut small_region = 0u32;
+        for _ in 0..10_000 {
+            let r = s.next_ref();
+            // Component 0 occupies the idx-0 region (lower comp bits).
+            if (r.line >> COMP_SHIFT) & 0xff == 0 {
+                small_region += 1;
+            }
+        }
+        assert!(
+            (8_500..9_500).contains(&small_region),
+            "weight-0.9 component drew {small_region}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_components_panics() {
+        CoreSpec::new(vec![], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn bad_write_frac_panics() {
+        CoreSpec::new(vec![(1.0, Component::WorkingSet { lines: 1 })], 1.5, 1);
+    }
+}

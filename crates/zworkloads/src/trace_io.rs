@@ -1,0 +1,202 @@
+//! Plain-text trace import/export.
+//!
+//! Lets external traces (e.g. from a real Pin run) drive the cache
+//! models, and lets generated streams be exported for other simulators.
+//!
+//! Format: one reference per line, `R <hex-line-addr>` or
+//! `W <hex-line-addr>`, with an optional third column for the
+//! instruction gap. `#`-prefixed lines are comments.
+//!
+//! ```text
+//! # canneal, core 0
+//! R 1a2b3c
+//! W 1a2b3d 12
+//! ```
+
+use crate::{AddressStream, MemRef};
+use std::io::{self, BufRead, Write};
+
+/// Parses a trace from a reader.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or on a malformed line (bad
+/// read/write tag, non-hex address, or non-numeric gap).
+pub fn read_trace<R: BufRead>(reader: R) -> io::Result<Vec<MemRef>> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}: {trimmed:?}", lineno + 1),
+            )
+        };
+        let write = match parts.next() {
+            Some("R") | Some("r") => false,
+            Some("W") | Some("w") => true,
+            _ => return Err(bad("expected R or W tag")),
+        };
+        let addr = parts
+            .next()
+            .ok_or_else(|| bad("missing address"))
+            .and_then(|a| {
+                u64::from_str_radix(a.trim_start_matches("0x"), 16)
+                    .map_err(|_| bad("invalid hex address"))
+            })?;
+        let gap = match parts.next() {
+            None => 1,
+            Some(g) => g.parse::<u32>().map_err(|_| bad("invalid gap"))?.max(1),
+        };
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        out.push(MemRef {
+            line: addr,
+            write,
+            gap,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a trace to a writer in the canonical format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, refs: &[MemRef]) -> io::Result<()> {
+    for r in refs {
+        writeln!(
+            writer,
+            "{} {:x} {}",
+            if r.write { 'W' } else { 'R' },
+            r.line,
+            r.gap
+        )?;
+    }
+    Ok(())
+}
+
+/// Replays a parsed trace as an [`AddressStream`], cycling when
+/// exhausted (streams are infinite by contract).
+///
+/// # Examples
+///
+/// ```
+/// use zworkloads::{trace_io::TraceStream, AddressStream, MemRef};
+///
+/// let refs = vec![MemRef { line: 1, write: false, gap: 1 }];
+/// let mut s = TraceStream::new(refs);
+/// assert_eq!(s.next_ref().line, 1);
+/// assert_eq!(s.next_ref().line, 1); // cycles
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    refs: Vec<MemRef>,
+    pos: usize,
+}
+
+impl TraceStream {
+    /// Wraps a reference list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is empty (an empty infinite stream is
+    /// meaningless).
+    pub fn new(refs: Vec<MemRef>) -> Self {
+        assert!(
+            !refs.is_empty(),
+            "trace must contain at least one reference"
+        );
+        Self { refs, pos: 0 }
+    }
+
+    /// Number of references before the stream cycles.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+impl AddressStream for TraceStream {
+    fn next_ref(&mut self) -> MemRef {
+        let r = self.refs[self.pos];
+        self.pos = (self.pos + 1) % self.refs.len();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let refs = vec![
+            MemRef {
+                line: 0x1a2b,
+                write: false,
+                gap: 1,
+            },
+            MemRef {
+                line: 0xff,
+                write: true,
+                gap: 12,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &refs).unwrap();
+        let parsed = read_trace(&buf[..]).unwrap();
+        assert_eq!(parsed, refs);
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_prefixes() {
+        let text = "# header\n\nR 0x10\nw 20 3\n";
+        let refs = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].line, 0x10);
+        assert!(!refs[0].write);
+        assert_eq!(refs[1].line, 0x20);
+        assert!(refs[1].write);
+        assert_eq!(refs[1].gap, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["X 10", "R", "R zz", "R 10 x", "R 10 1 extra"] {
+            assert!(read_trace(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_gap_clamps_to_one() {
+        let refs = read_trace("R 1 0".as_bytes()).unwrap();
+        assert_eq!(refs[0].gap, 1);
+    }
+
+    #[test]
+    fn stream_cycles() {
+        let refs = read_trace("R 1\nR 2\n".as_bytes()).unwrap();
+        let mut s = TraceStream::new(refs);
+        let seq: Vec<u64> = (0..5).map(|_| s.next_ref().line).collect();
+        assert_eq!(seq, vec![1, 2, 1, 2, 1]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn empty_stream_panics() {
+        TraceStream::new(vec![]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Zipf sampling via Walker's alias method.
+
+use std::sync::Arc;
+use zhash::SplitMix64;
+
+/// A precomputed Zipf(`s`) distribution over ranks `0..n`, sampled in
+/// O(1) with Walker's alias method.
+///
+/// Rank 0 is the hottest line. Tables are built once per workload and
+/// shared across the 32 per-core streams through an [`Arc`], so a
+/// million-line footprint costs one table, not 32.
+///
+/// # Examples
+///
+/// ```
+/// use zworkloads::ZipfTable;
+/// use zhash::SplitMix64;
+///
+/// let t = ZipfTable::new(1000, 1.0);
+/// let mut rng = SplitMix64::new(7);
+/// let r = t.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    prob: Arc<[f64]>,
+    alias: Arc<[u32]>,
+}
+
+impl ZipfTable {
+    /// Builds a table for `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as u64`, or if `s` is negative
+    /// or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(n <= u64::from(u32::MAX), "rank count must fit in u32");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let n = n as usize;
+        let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w = *w / total * n as f64; // scaled so mean is 1.0
+        }
+
+        // Walker alias construction.
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s_i), Some(&l_i)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s_i as usize] = weights[s_i as usize];
+            alias[s_i as usize] = l_i;
+            weights[l_i as usize] -= 1.0 - weights[s_i as usize];
+            if weights[l_i as usize] < 1.0 {
+                large.pop();
+                small.push(l_i);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Self {
+            prob: prob.into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u64 {
+        self.prob.len() as u64
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let n = self.prob.len() as u64;
+        let col = rng.next_below(n) as usize;
+        if rng.next_f64() < self.prob[col] {
+            col as u64
+        } else {
+            u64::from(self.alias[col])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let t = ZipfTable::new(100, 0.8);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(t.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let t = ZipfTable::new(1000, 1.0);
+        let mut rng = SplitMix64::new(2);
+        let mut top10 = 0u32;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if t.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // For Zipf(1.0) over 1000, the top-10 mass is ~39%.
+        let frac = f64::from(top10) / f64::from(trials);
+        assert!((0.33..0.45).contains(&frac), "top-10 mass {frac}");
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let t = ZipfTable::new(10, 0.0);
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn alias_frequencies_match_weights() {
+        // Empirical frequency of rank 0 under Zipf(1.0, n=100) should be
+        // 1/H_100 ≈ 0.1928.
+        let t = ZipfTable::new(100, 1.0);
+        let mut rng = SplitMix64::new(4);
+        let mut hits = 0u32;
+        let trials = 200_000;
+        for _ in 0..trials {
+            if t.sample(&mut rng) == 0 {
+                hits += 1;
+            }
+        }
+        let freq = f64::from(hits) / f64::from(trials);
+        assert!((0.18..0.21).contains(&freq), "rank-0 freq {freq}");
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let t = ZipfTable::new(1, 2.0);
+        let mut rng = SplitMix64::new(5);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfTable::new(0, 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Full-system example: run the 32-core CMP simulator on a
+//! miss-intensive workload with different L2 organizations, and report
+//! MPKI, IPC and modelled energy efficiency (the Fig. 5 pipeline in
+//! miniature).
+//!
+//! Run with: `cargo run --release --example cmp_sim`
+
+use zcache_repro::zenergy::SystemPowerModel;
+use zcache_repro::zsim::{L2Design, SimConfig, System};
+use zcache_repro::zworkloads::suite::{by_name, Scale};
+
+fn main() {
+    let scale = Scale::SMALL;
+    let mut cfg = SimConfig::small();
+    cfg.instrs_per_core = 150_000;
+
+    let workload = by_name("canneal", cfg.cores as usize, scale).expect("canneal in suite");
+    let power = SystemPowerModel::paper_cmp();
+
+    let designs = [
+        ("SA-4 (baseline)", L2Design::setassoc(4)),
+        ("SA-32", L2Design::setassoc(32)),
+        ("Z4/4 (skew)", L2Design::zcache(4, 1)),
+        ("Z4/16", L2Design::zcache(4, 2)),
+        ("Z4/52", L2Design::zcache(4, 3)),
+    ];
+
+    println!(
+        "canneal on a {}-core CMP ({} KB L1s, {} MB shared L2, {} banks)\n",
+        cfg.cores,
+        cfg.l1_lines * 64 / 1024,
+        cfg.l2_lines * 64 / 1024 / 1024,
+        cfg.l2_banks
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "L2 design", "MPKI", "IPC", "lat(cyc)", "BIPS", "BIPS/W"
+    );
+    println!("{}", "-".repeat(68));
+    for (name, design) in designs {
+        let run_cfg = cfg.clone().with_l2(design);
+        let latency = run_cfg.effective_l2_latency();
+        let stats = System::new(run_cfg.clone()).run(&workload);
+        let cost = design
+            .cache_design(run_cfg.l2_lines, run_cfg.l2_banks)
+            .cost();
+        let energy = power.evaluate(&stats.energy_counts(), &cost);
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>8} {:>10.3} {:>10.4}",
+            name,
+            stats.l2_mpki(),
+            stats.ipc(),
+            latency,
+            energy.bips,
+            energy.bips_per_watt
+        );
+    }
+    println!("\nExpected shape (§VI): MPKI falls as replacement candidates grow; the");
+    println!("zcache gets SA-32-class misses at 4-way hit latency and energy.");
+}

@@ -1,0 +1,36 @@
+//! Umbrella crate for the zcache reproduction workspace.
+//!
+//! This crate re-exports the member crates so that `examples/` and
+//! `tests/` at the repository root can exercise the whole public API, and
+//! so downstream users can depend on a single crate:
+//!
+//! * [`zhash`] — H3 / bit-select / mix64 hashing and Bloom filters.
+//! * [`zcache_core`] — cache arrays (set-associative, skew-associative,
+//!   zcache, fully-associative, random-candidates), replacement policies,
+//!   and the associativity-distribution framework of §IV.
+//! * [`zworkloads`] — synthetic address-stream generators standing in for
+//!   the paper's PARSEC/SPECOMP/SPECCPU2006 workloads.
+//! * [`zenergy`] — the CACTI/McPAT-like cache cost and system power model.
+//! * [`zsim`] — the 32-core CMP memory-hierarchy simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use zcache_repro::zcache_core::{CacheBuilder, ArrayKind};
+//!
+//! let mut cache = CacheBuilder::new()
+//!     .lines(1 << 10)
+//!     .ways(4)
+//!     .array(ArrayKind::ZCache { levels: 2 })
+//!     .build_lru();
+//! let outcome = cache.access(0x1000);
+//! assert!(outcome.is_miss());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use zcache_core;
+pub use zenergy;
+pub use zhash;
+pub use zsim;
+pub use zworkloads;

@@ -1,0 +1,72 @@
+//! Property-style checks on the analytical models: the cost model's
+//! monotonicities and the full-geometry (Table I scale) pipeline.
+
+use proptest::prelude::*;
+use zcache_repro::zenergy::{walk_latency_cycles, CacheDesign, LookupMode, OrgKind};
+use zcache_repro::zsim::{L2Design, SimConfig, System};
+use zcache_repro::zworkloads::suite::{by_name, Scale};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Physical monotonicity: more ways never makes a set-associative
+    /// cache cheaper to hit, smaller, or faster.
+    #[test]
+    fn sa_costs_monotone_in_ways(shift in 1u32..5, parallel in any::<bool>()) {
+        let lookup = if parallel { LookupMode::Parallel } else { LookupMode::Serial };
+        let w0 = 1u32 << shift;
+        let w1 = w0 * 2;
+        let a = CacheDesign::paper_l2(w0, OrgKind::SetAssoc, lookup).cost();
+        let b = CacheDesign::paper_l2(w1, OrgKind::SetAssoc, lookup).cost();
+        prop_assert!(b.hit_energy_nj > a.hit_energy_nj);
+        prop_assert!(b.area_mm2 > a.area_mm2);
+        prop_assert!(b.hit_latency_cycles >= a.hit_latency_cycles);
+        prop_assert!(b.miss_energy_nj > a.miss_energy_nj);
+    }
+
+    /// ZCache decoupling: for any way count, hit-side costs are
+    /// independent of walk depth while miss energy grows with it.
+    #[test]
+    fn zcache_decoupling_holds(ways_shift in 1u32..4, levels in 2u32..5) {
+        let ways = 1u32 << ways_shift;
+        let shallow = CacheDesign::paper_l2(ways, OrgKind::ZCache { levels: levels - 1 }, LookupMode::Serial).cost();
+        let deep = CacheDesign::paper_l2(ways, OrgKind::ZCache { levels }, LookupMode::Serial).cost();
+        prop_assert_eq!(shallow.hit_energy_nj, deep.hit_energy_nj);
+        prop_assert_eq!(shallow.hit_latency_cycles, deep.hit_latency_cycles);
+        prop_assert_eq!(shallow.area_mm2, deep.area_mm2);
+        if ways > 1 {
+            prop_assert!(deep.miss_energy_nj > shallow.miss_energy_nj);
+            prop_assert!(deep.candidates > shallow.candidates);
+        }
+    }
+
+    /// Walk latency is monotone in depth and bounded by the unpipelined
+    /// cost (levels × per-level reads, each at tag latency).
+    #[test]
+    fn walk_latency_bounds(ways in 2u32..8, levels in 1u32..5, t_tag in 1u32..10) {
+        let lat = walk_latency_cycles(ways, levels, t_tag);
+        let shallower = walk_latency_cycles(ways, levels.saturating_sub(1), t_tag);
+        prop_assert!(lat >= shallower);
+        // Lower bound: at least levels × min(per-way pipeline, T_tag).
+        prop_assert!(lat >= u64::from(levels));
+        // Upper bound: never worse than reading every candidate serially
+        // at full tag latency.
+        let r = zcache_repro::zcache_core::replacement_candidates(ways, levels);
+        prop_assert!(lat <= r * u64::from(t_tag));
+    }
+}
+
+/// The full Table I geometry (8 MB L2, 32 KB L1s, 32 cores) runs end to
+/// end — a scale smoke test for the banked simulator.
+#[test]
+fn paper_scale_smoke() {
+    let mut cfg = SimConfig::paper().with_l2(L2Design::zcache(4, 3));
+    cfg.instrs_per_core = 8_000; // keep the smoke fast
+    let wl = by_name("canneal", 32, Scale::PAPER).unwrap();
+    let stats = System::new(cfg).run(&wl);
+    assert!(stats.instructions >= 32 * 8_000);
+    assert!(stats.l1.accesses > 0);
+    assert!(stats.l2.accesses > 0);
+    assert_eq!(stats.banks, 8);
+    assert!(stats.ipc() > 0.0 && stats.ipc() <= 32.0);
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration tests asserting the paper's headline claims
+//! across the whole stack (workloads → simulator → cost model).
+
+use zcache_repro::zcache_core::PolicyKind;
+use zcache_repro::zenergy::{self, LookupMode, OrgKind, SystemPowerModel};
+use zcache_repro::zsim::trace::{record_trace, replay};
+use zcache_repro::zsim::{L2Design, SimConfig, System};
+use zcache_repro::zworkloads::suite::{by_name, Scale};
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.cores = 16;
+    cfg.instrs_per_core = 60_000;
+    cfg
+}
+
+/// §VI headline: on a miss-intensive workload, a Z4/52 reduces L2 misses
+/// relative to the 4-way set-associative baseline, at unchanged hit
+/// latency.
+#[test]
+fn zcache_beats_baseline_on_miss_intensive_workload() {
+    let wl = by_name("cactusADM", 16, Scale::SMALL).unwrap();
+    let base_cfg = cfg();
+    let trace = record_trace(&base_cfg, &wl);
+
+    let base = replay(&base_cfg, &trace);
+    let z = replay(&base_cfg.clone().with_l2(L2Design::zcache(4, 3)), &trace);
+
+    assert!(
+        z.l2.misses < base.l2.misses,
+        "Z4/52 misses {} !< SA-4 misses {}",
+        z.l2.misses,
+        base.l2.misses
+    );
+    // Same physical ways → same hit latency (the decoupling claim).
+    assert_eq!(
+        base_cfg
+            .clone()
+            .with_l2(L2Design::zcache(4, 3))
+            .effective_l2_latency(),
+        base_cfg.effective_l2_latency()
+    );
+}
+
+/// §VI headline: Z4/52 achieves SA-32-class misses and, thanks to its
+/// 4-way hit costs, at least SA-32-class energy efficiency.
+#[test]
+fn z452_competes_with_sa32() {
+    let wl = by_name("omnetpp", 16, Scale::SMALL).unwrap();
+    let base_cfg = cfg();
+    let trace = record_trace(&base_cfg, &wl);
+
+    let sa32 = replay(&base_cfg.clone().with_l2(L2Design::setassoc(32)), &trace);
+    let z52 = replay(&base_cfg.clone().with_l2(L2Design::zcache(4, 3)), &trace);
+
+    // Misses within a modest band of each other (52 vs 32 candidates).
+    assert!(
+        (z52.l2.misses as f64) < sa32.l2.misses as f64 * 1.1,
+        "Z4/52 {} vs SA-32 {}",
+        z52.l2.misses,
+        sa32.l2.misses
+    );
+    // IPC at least as good: the zcache avoids the wide cache's latency.
+    assert!(
+        z52.ipc() >= sa32.ipc() * 0.99,
+        "Z4/52 IPC {} vs SA-32 {}",
+        z52.ipc(),
+        sa32.ipc()
+    );
+
+    // Energy efficiency: price both with the cost model.
+    let power = SystemPowerModel::paper_cmp();
+    let sa32_cost = L2Design::setassoc(32)
+        .cache_design(base_cfg.l2_lines, base_cfg.l2_banks)
+        .cost();
+    let z52_cost = L2Design::zcache(4, 3)
+        .cache_design(base_cfg.l2_lines, base_cfg.l2_banks)
+        .cost();
+    let e_sa = power.evaluate(&sa32.energy_counts(), &sa32_cost);
+    let e_z = power.evaluate(&z52.energy_counts(), &z52_cost);
+    assert!(
+        e_z.bips_per_watt >= e_sa.bips_per_watt * 0.99,
+        "Z4/52 {} vs SA-32 {} BIPS/W",
+        e_z.bips_per_watt,
+        e_sa.bips_per_watt
+    );
+}
+
+/// §IV headline: same candidate count ⇒ same associativity. Under OPT
+/// (no policy ill-effects), SA-16 and Z4/16 should land very close in
+/// misses, despite 4× fewer ways in the zcache.
+#[test]
+fn equal_candidates_equal_misses_under_opt() {
+    let wl = by_name("soplex", 16, Scale::SMALL).unwrap();
+    let base_cfg = cfg();
+    let trace = record_trace(&base_cfg, &wl);
+
+    let sa16 = replay(
+        &base_cfg
+            .clone()
+            .with_l2(L2Design::setassoc(16).with_policy(PolicyKind::Opt)),
+        &trace,
+    );
+    let z16 = replay(
+        &base_cfg
+            .clone()
+            .with_l2(L2Design::zcache(4, 2).with_policy(PolicyKind::Opt)),
+        &trace,
+    );
+    let (a, b) = (z16.l2.misses as f64, sa16.l2.misses as f64);
+    assert!(
+        (a - b).abs() / b < 0.10,
+        "Z4/16 {} vs SA-16 {} misses (>10% apart)",
+        a,
+        b
+    );
+}
+
+/// Fig. 4 monotonicity under OPT: more candidates, fewer (or equal)
+/// misses, across several workloads.
+#[test]
+fn associativity_monotone_under_opt() {
+    let base_cfg = cfg();
+    for name in ["mcf", "cactusADM", "milc"] {
+        let wl = by_name(name, 16, Scale::SMALL).unwrap();
+        let trace = record_trace(&base_cfg, &wl);
+        let mut last = u64::MAX;
+        for levels in [1u32, 2, 3] {
+            let s = replay(
+                &base_cfg
+                    .clone()
+                    .with_l2(L2Design::zcache(4, levels).with_policy(PolicyKind::Opt)),
+                &trace,
+            );
+            assert!(
+                s.l2.misses <= last + last / 50,
+                "{name}: L{levels} misses {} above L{} misses {last}",
+                s.l2.misses,
+                levels - 1
+            );
+            last = s.l2.misses;
+        }
+    }
+}
+
+/// Table II ratios hold in the released cost model.
+#[test]
+fn table2_ratios() {
+    let rows = zenergy::table2();
+    let get = |label: &str, lookup: LookupMode| {
+        rows.iter()
+            .find(|r| r.label == label && r.lookup == lookup)
+            .unwrap()
+            .cost
+    };
+    let sa4s = get("SA-4", LookupMode::Serial);
+    let sa32s = get("SA-32", LookupMode::Serial);
+    let z52s = get("Z4/52", LookupMode::Serial);
+    assert!((sa32s.hit_energy_nj / sa4s.hit_energy_nj - 2.0).abs() < 0.1);
+    assert!((sa32s.area_mm2 / sa4s.area_mm2 - 1.22).abs() < 0.05);
+    assert_eq!(z52s.hit_latency_cycles, sa4s.hit_latency_cycles);
+    assert_eq!(z52s.hit_energy_nj, sa4s.hit_energy_nj);
+    assert_eq!(z52s.candidates, 52);
+
+    let sa4p = get("SA-4", LookupMode::Parallel);
+    let sa32p = get("SA-32", LookupMode::Parallel);
+    assert!((sa32p.hit_energy_nj / sa4p.hit_energy_nj - 3.3).abs() < 0.2);
+}
+
+/// Execution-driven inclusion invariant: after a full run, every line
+/// resident in any L1 is also resident in the L2.
+#[test]
+fn inclusive_hierarchy_invariant() {
+    let wl = by_name("gcc", 8, Scale::SMALL).unwrap();
+    let mut run_cfg = cfg();
+    run_cfg.cores = 8;
+    let mut sys = System::new(run_cfg);
+    sys.run(&wl);
+    for l1 in sys.l1s() {
+        let mut missing = 0u32;
+        l1.for_each_resident(&mut |line| {
+            let bank = sys.bank_index(line);
+            if !sys.banks()[bank].contains(line) {
+                missing += 1;
+            }
+        });
+        assert_eq!(missing, 0, "L1 lines missing from the inclusive L2");
+    }
+}
+
+/// The zcache's physical-cost independence from R: Table II's zcache
+/// rows differ only in miss energy.
+#[test]
+fn zcache_cost_decoupling() {
+    for lookup in [LookupMode::Serial, LookupMode::Parallel] {
+        let z16 = zcache_design_cost(2, lookup);
+        let z52 = zcache_design_cost(3, lookup);
+        assert_eq!(z16.hit_latency_cycles, z52.hit_latency_cycles);
+        assert_eq!(z16.hit_energy_nj, z52.hit_energy_nj);
+        assert_eq!(z16.area_mm2, z52.area_mm2);
+        assert!(z52.miss_energy_nj > z16.miss_energy_nj);
+    }
+}
+
+fn zcache_design_cost(levels: u32, lookup: LookupMode) -> zenergy::CacheCost {
+    zenergy::CacheDesign::paper_l2(4, OrgKind::ZCache { levels }, lookup).cost()
+}
