@@ -4,6 +4,7 @@
 
 use crate::format_table;
 use crate::opts::ExpOpts;
+use crate::SweepRunner;
 use zcache_core::{ArrayKind, CacheBuilder, DynCache, PolicyKind, WalkKind};
 use zsim::trace::record_trace;
 use zworkloads::suite::by_name;
@@ -37,8 +38,80 @@ fn drive(mut cache: DynCache, refs: &[(u64, bool)]) -> AblationRow {
     }
 }
 
+/// A variant constructor: finishes a pre-seeded base builder. Plain
+/// function pointers (capture-free) so the table is `Sync` and variants
+/// can fan out over the sweep worker pool.
+type BuildFn = fn(CacheBuilder, u64) -> DynCache;
+
+/// The ablation lineup as `(label, constructor)`; the constructor gets
+/// the shared base builder plus the array size (for size-derived policy
+/// parameters).
+fn variants() -> Vec<(&'static str, BuildFn)> {
+    vec![
+        ("Z4/52 BFS (paper)", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 3 }).build()
+        }),
+        ("Z4/52 DFS (cuckoo order)", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 3 })
+                .walk_kind(WalkKind::Dfs)
+                .build()
+        }),
+        ("Z4/52 + Bloom dedup", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 3 })
+                .bloom_dedup(true)
+                .build()
+        }),
+        ("Z4/52 early stop @ 24", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 3 })
+                .max_candidates(24)
+                .build()
+        }),
+        ("Z4/52 early stop @ 8", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 3 })
+                .max_candidates(8)
+                .build()
+        }),
+        ("Z4/16 bucketed-LRU (paper cfg)", |b, lines| {
+            b.array(ArrayKind::ZCache { levels: 2 })
+                .policy(PolicyKind::BucketedLru {
+                    bits: 8,
+                    k: (lines / 20).max(1),
+                })
+                .build()
+        }),
+        ("Z4/16 bucketed-LRU 4-bit", |b, lines| {
+            b.array(ArrayKind::ZCache { levels: 2 })
+                .policy(PolicyKind::BucketedLru {
+                    bits: 4,
+                    k: (lines / 20).max(1),
+                })
+                .build()
+        }),
+        ("Z4/16 full LRU", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 2 }).build()
+        }),
+        ("Z4/16 RRIP", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 2 })
+                .policy(PolicyKind::Rrip)
+                .build()
+        }),
+        ("Z4/16 DRRIP", |b, _| {
+            b.array(ArrayKind::ZCache { levels: 2 })
+                .policy(PolicyKind::Drrip)
+                .build()
+        }),
+    ]
+}
+
 /// Runs all ablations on a shared L2 trace of the `cactusADM` workload
 /// (the paper's associativity-sensitive case).
+///
+/// One sweep point per variant, all driven over the one recorded trace.
+/// Unlike the per-workload sweeps, every variant keeps the *same* hash
+/// seed: an ablation is a controlled comparison, and giving variants
+/// independent seeds would fold hash-placement luck into the measured
+/// deltas. Determinism across `--jobs` still holds — each point's cache
+/// is built and driven entirely inside the point.
 pub fn run(opts: &ExpOpts) -> Vec<AblationRow> {
     let cfg = opts.sim_config();
     let wl = by_name("cactusADM", opts.cores as usize, opts.scale).expect("cactusADM in suite");
@@ -48,89 +121,19 @@ pub fn run(opts: &ExpOpts) -> Vec<AblationRow> {
     // stays ~3× capacity — pressured enough for walks and relocations,
     // reused enough that associativity differentiates.
     let lines = (opts.scale.l2_lines * u64::from(opts.cores) / 32).max(1024);
-    let mk = |label: &str, cache: DynCache| -> AblationRow {
-        let mut row = drive(cache, &refs);
-        row.variant = label.to_string();
-        row
-    };
     let base = CacheBuilder::new()
         .lines(lines)
         .ways(4)
         .policy(PolicyKind::Lru)
         .seed(opts.seed);
 
-    vec![
-        mk(
-            "Z4/52 BFS (paper)",
-            base.clone().array(ArrayKind::ZCache { levels: 3 }).build(),
-        ),
-        mk(
-            "Z4/52 DFS (cuckoo order)",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 3 })
-                .walk_kind(WalkKind::Dfs)
-                .build(),
-        ),
-        mk(
-            "Z4/52 + Bloom dedup",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 3 })
-                .bloom_dedup(true)
-                .build(),
-        ),
-        mk(
-            "Z4/52 early stop @ 24",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 3 })
-                .max_candidates(24)
-                .build(),
-        ),
-        mk(
-            "Z4/52 early stop @ 8",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 3 })
-                .max_candidates(8)
-                .build(),
-        ),
-        mk(
-            "Z4/16 bucketed-LRU (paper cfg)",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 2 })
-                .policy(PolicyKind::BucketedLru {
-                    bits: 8,
-                    k: (lines / 20).max(1),
-                })
-                .build(),
-        ),
-        mk(
-            "Z4/16 bucketed-LRU 4-bit",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 2 })
-                .policy(PolicyKind::BucketedLru {
-                    bits: 4,
-                    k: (lines / 20).max(1),
-                })
-                .build(),
-        ),
-        mk(
-            "Z4/16 full LRU",
-            base.clone().array(ArrayKind::ZCache { levels: 2 }).build(),
-        ),
-        mk(
-            "Z4/16 RRIP",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 2 })
-                .policy(PolicyKind::Rrip)
-                .build(),
-        ),
-        mk(
-            "Z4/16 DRRIP",
-            base.clone()
-                .array(ArrayKind::ZCache { levels: 2 })
-                .policy(PolicyKind::Drrip)
-                .build(),
-        ),
-    ]
+    let lineup = variants();
+    SweepRunner::from_opts(opts).run(lineup.len(), |i| {
+        let (label, build) = lineup[i];
+        let mut row = drive(build(base.clone(), lines), &refs);
+        row.variant = label.to_string();
+        row
+    })
 }
 
 /// Renders the ablation table.

@@ -9,6 +9,7 @@
 
 use crate::format_table;
 use crate::opts::ExpOpts;
+use crate::{point_seed, SweepRunner};
 use zsim::{L2Design, System};
 use zworkloads::suite::paper_suite_scaled;
 
@@ -30,30 +31,34 @@ pub struct BandwidthRow {
 }
 
 /// Runs the bandwidth study with a Z4/52 L2 (execution-driven).
+///
+/// One sweep point per workload, indexed over the full suite so
+/// `--workloads` prefix-filtering leaves per-point seeds unchanged.
 pub fn run(opts: &ExpOpts) -> Vec<BandwidthRow> {
-    let mut workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
-    if let Some(n) = opts.max_workloads {
-        workloads.truncate(n);
-    }
+    let workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
+    let n = opts
+        .max_workloads
+        .unwrap_or(workloads.len())
+        .min(workloads.len());
     let cfg = opts.sim_config().with_l2(L2Design::zcache(4, 3));
-    workloads
-        .iter()
-        .map(|wl| {
-            let stats = System::new(cfg.clone()).run(wl);
-            BandwidthRow {
-                workload: wl.name().to_string(),
-                load_per_bank: stats.l2_load_per_bank(),
-                tag_ops_per_bank: stats.l2_tag_ops_per_cycle_per_bank(),
-                misses_per_bank: stats.l2_misses_per_cycle_per_bank(),
-                mpki: stats.l2_mpki(),
-                contention_frac: if stats.max_cycles > 0 {
-                    stats.l2_tag_contention_cycles as f64 / stats.max_cycles as f64
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect()
+    SweepRunner::from_opts(opts).run(n, |i| {
+        let wl = &workloads[i];
+        let mut point_cfg = cfg.clone();
+        point_cfg.seed = point_seed(opts.seed, i as u64);
+        let stats = System::new(point_cfg).run(wl);
+        BandwidthRow {
+            workload: wl.name().to_string(),
+            load_per_bank: stats.l2_load_per_bank(),
+            tag_ops_per_bank: stats.l2_tag_ops_per_cycle_per_bank(),
+            misses_per_bank: stats.l2_misses_per_cycle_per_bank(),
+            mpki: stats.l2_mpki(),
+            contention_frac: if stats.max_cycles > 0 {
+                stats.l2_tag_contention_cycles as f64 / stats.max_cycles as f64
+            } else {
+                0.0
+            },
+        }
+    })
 }
 
 /// Summary statistics of a bandwidth run.

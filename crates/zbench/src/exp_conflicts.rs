@@ -10,6 +10,7 @@
 
 use crate::format_table;
 use crate::opts::{fig_designs, ExpOpts};
+use crate::{point_seed, SweepRunner};
 use zcache_core::{ArrayKind, CacheBuilder, PolicyKind};
 use zsim::trace::record_trace;
 use zworkloads::suite::paper_suite_scaled;
@@ -32,16 +33,26 @@ pub struct ConflictRow {
 }
 
 /// Runs the decomposition over a few associativity-sensitive workloads.
+///
+/// One sweep point per retained workload. The point index is the
+/// workload's position in the *full* suite (not the retained subset), so
+/// each workload's [`point_seed`]-derived trace and hash seeds match
+/// what any other filtering of the same grid would compute.
 pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
-    let cfg = opts.sim_config();
     // Array scaled to traced cores, as in the ablations (~3× pressure).
     let lines = (opts.scale.l2_lines * u64::from(opts.cores) / 32).max(1024);
-    let mut workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
+    let workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
     let keep = ["cactusADM", "omnetpp", "gcc", "wupwise"];
-    workloads.retain(|w| keep.contains(&w.name()));
+    let points: Vec<usize> = (0..workloads.len())
+        .filter(|&i| keep.contains(&workloads[i].name()))
+        .collect();
 
-    let mut rows = Vec::new();
-    for wl in &workloads {
+    let per_workload = SweepRunner::from_opts(opts).run(points.len(), |p| {
+        let i = points[p];
+        let wl = &workloads[i];
+        let seed = point_seed(opts.seed, i as u64);
+        let mut cfg = opts.sim_config();
+        cfg.seed = seed;
         let trace = record_trace(&cfg, wl);
         let refs: Vec<(u64, bool)> = trace.refs.iter().map(|r| (r.line, r.write)).collect();
 
@@ -51,7 +62,7 @@ pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
                 .ways(ways)
                 .array(array)
                 .policy(PolicyKind::Lru)
-                .seed(opts.seed)
+                .seed(seed)
                 .build();
             for &(line, write) in &refs {
                 cache.access_full(line, write, u64::MAX);
@@ -60,6 +71,7 @@ pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
         };
 
         let fully = run_design(ArrayKind::Fully, 4);
+        let mut rows = Vec::new();
         for (label, design) in fig_designs() {
             let misses = run_design(design.array, design.ways);
             let conflict = misses as i64 - fully as i64;
@@ -76,8 +88,9 @@ pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
                 },
             });
         }
-    }
-    rows
+        rows
+    });
+    per_workload.into_iter().flatten().collect()
 }
 
 /// Renders the decomposition.

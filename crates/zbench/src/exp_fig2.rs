@@ -116,11 +116,20 @@ mod tests {
         // The §IV-B validation: the empirical distribution of a
         // random-candidates cache matches x^n closely.
         for row in run(&[4, 16], 120_000, 3) {
+            // The two-sided KS statistic on a binned CDF cannot go below
+            // the analytic CDF's rise across one bin (the lower side of
+            // an edge lags by a whole bin), so a perfect x^n match still
+            // measures up to `F(1) − F(1 − 1/bins)` — ≈ 0.06 for n = 16
+            // at 256 bins. Budget that resolution floor on top of the
+            // 0.05 sampling-noise allowance.
+            let bins = row.hist.num_bins() as f64;
+            let resolution = 1.0 - uniform_assoc_cdf(row.n, 1.0 - 1.0 / bins);
             assert!(
-                row.ks < 0.05,
-                "n={}: KS distance {} too large",
+                row.ks < 0.05 + resolution,
+                "n={}: KS distance {} too large (resolution floor {})",
                 row.n,
-                row.ks
+                row.ks,
+                resolution
             );
             assert!(row.hist.total() > 1_000);
         }

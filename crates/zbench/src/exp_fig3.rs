@@ -13,6 +13,7 @@
 
 use crate::format_table;
 use crate::opts::ExpOpts;
+use crate::{point_seed, SweepRunner};
 use zcache_core::{
     replacement_candidates, ArrayKind, CacheBuilder, DynCache, PolicyKind, UnitHistogram,
 };
@@ -160,43 +161,54 @@ pub fn measure(
 }
 
 /// Runs the experiment for one panel over the Fig. 3 workload selection.
+///
+/// One sweep point per workload: trace recording dominates the cost, so
+/// each point records its trace once and measures every design of the
+/// panel against it. Both the trace and the arrays draw their seed from
+/// [`point_seed`], keeping panels comparable (same workload index ⇒ same
+/// trace) and the output independent of `--jobs`.
 pub fn run(panel: Fig3Panel, opts: &ExpOpts) -> Vec<Fig3Row> {
-    let cfg = opts.sim_config();
-    let mut rows = Vec::new();
-    for wl in fig3_selection(opts.scale) {
-        let trace = record_trace(&cfg, &wl);
-        for (label, array, ways, nominal_r) in panel.designs() {
-            let (hist, _, _) = measure(&trace, array, ways, opts.scale.l2_lines, opts.seed);
-            // KS is evaluated against the design's nominal R (the paper
-            // compares against the uniformity curve for that R). With too
-            // few sampled evictions the distance is meaningless: NaN.
-            let ks = if hist.total() < 50 {
-                f64::NAN
-            } else {
-                ks_distance(&hist, nominal_r as u32)
-            };
-            rows.push(Fig3Row {
-                workload: wl.name().to_string(),
-                design: label,
-                candidates: nominal_r,
-                hist,
-                ks,
-            });
-        }
-    }
-    rows
+    let workloads = fig3_selection(opts.scale);
+    let per_workload = SweepRunner::from_opts(opts).run(workloads.len(), |i| {
+        let wl = &workloads[i];
+        let seed = point_seed(opts.seed, i as u64);
+        let mut cfg = opts.sim_config();
+        cfg.seed = seed;
+        let trace = record_trace(&cfg, wl);
+        panel
+            .designs()
+            .into_iter()
+            .map(|(label, array, ways, nominal_r)| {
+                let (hist, _, _) = measure(&trace, array, ways, opts.scale.l2_lines, seed);
+                // KS is evaluated against the design's nominal R (the paper
+                // compares against the uniformity curve for that R). With too
+                // few sampled evictions the distance is meaningless: NaN.
+                let ks = if hist.total() < 50 {
+                    f64::NAN
+                } else {
+                    ks_distance(&hist, nominal_r as u32)
+                };
+                Fig3Row {
+                    workload: wl.name().to_string(),
+                    design: label,
+                    candidates: nominal_r,
+                    hist,
+                    ks,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_workload.into_iter().flatten().collect()
 }
 
 /// KS distance between an empirical histogram and `F_A(x) = xⁿ`.
+///
+/// Thin re-export of [`zcache_core::ks_distance_to_uniform`]; this used
+/// to be a local copy that only examined the upper side of each bin
+/// edge and under-reported distributions whose gap sits at a lower
+/// edge.
 pub fn ks_distance(hist: &UnitHistogram, n: u32) -> f64 {
-    let bins = hist.num_bins();
-    let cdf = hist.cdf();
-    let mut worst: f64 = 0.0;
-    for (i, &emp) in cdf.iter().enumerate() {
-        let x = (i as f64 + 1.0) / bins as f64;
-        worst = worst.max((emp - zcache_core::uniform_assoc_cdf(n, x)).abs());
-    }
-    worst
+    zcache_core::ks_distance_to_uniform(hist, n)
 }
 
 /// Renders one panel's results.

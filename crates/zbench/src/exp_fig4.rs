@@ -11,6 +11,7 @@
 use crate::format_table;
 use crate::geomean;
 use crate::opts::{fig_designs, with_policy, ExpOpts};
+use crate::{point_seed, SweepRunner};
 use zcache_core::PolicyKind;
 use zsim::trace::{record_trace, replay};
 use zsim::SimStats;
@@ -45,41 +46,62 @@ pub struct Fig4Result {
 }
 
 /// Runs Fig. 4 for one policy over the suite.
+///
+/// One sweep point per workload: the point records the workload's trace
+/// and replays it against every design. Point indices (and thus the
+/// [`point_seed`]-derived RNG seeds) come from the workload's position in
+/// the *full* suite, and `--workloads n` keeps a prefix of that grid — so
+/// a filtered run reproduces the unfiltered run's values exactly, and
+/// `--policy` filtering cannot shift them either (the grid per policy is
+/// identical).
 pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig4Result {
     let designs = with_policy(&fig_designs(), policy);
-    let mut workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
-    if let Some(n) = opts.max_workloads {
-        workloads.truncate(n);
-    }
+    let workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
+    let n = opts
+        .max_workloads
+        .unwrap_or(workloads.len())
+        .min(workloads.len());
     let base_cfg = opts.sim_config();
 
-    let mut cells = Vec::new();
-    let mut baselines = Vec::new();
-    for wl in &workloads {
-        let trace = record_trace(&base_cfg, wl);
-        let mut stats: Vec<(String, SimStats)> = Vec::new();
-        for (label, design) in &designs {
-            let cfg = base_cfg.clone().with_l2(*design);
-            stats.push((label.clone(), replay(&cfg, &trace)));
-        }
+    let points = SweepRunner::from_opts(opts).run(n, |i| {
+        let wl = &workloads[i];
+        let mut cfg = base_cfg.clone();
+        cfg.seed = point_seed(opts.seed, i as u64);
+        let trace = record_trace(&cfg, wl);
+        let stats: Vec<(String, SimStats)> = designs
+            .iter()
+            .map(|(label, design)| (label.clone(), replay(&cfg.clone().with_l2(*design), &trace)))
+            .collect();
         let (base_mpki, base_ipc) = {
             let s = &stats[0].1;
             (s.l2_mpki(), s.ipc())
         };
-        baselines.push((wl.name().to_string(), base_mpki, base_ipc));
-        for (label, s) in stats.iter().skip(1) {
-            let mpki = s.l2_mpki();
-            let ipc = s.ipc();
-            cells.push(Fig4Cell {
-                workload: wl.name().to_string(),
-                design: label.clone(),
-                mpki,
-                ipc,
-                // Guard div-by-zero for L1-resident workloads with ~0 MPKI.
-                mpki_improvement: if mpki > 1e-9 { base_mpki / mpki } else { 1.0 },
-                ipc_improvement: if base_ipc > 1e-9 { ipc / base_ipc } else { 1.0 },
-            });
-        }
+        let baseline = (wl.name().to_string(), base_mpki, base_ipc);
+        let cells: Vec<Fig4Cell> = stats
+            .iter()
+            .skip(1)
+            .map(|(label, s)| {
+                let mpki = s.l2_mpki();
+                let ipc = s.ipc();
+                Fig4Cell {
+                    workload: wl.name().to_string(),
+                    design: label.clone(),
+                    mpki,
+                    ipc,
+                    // Guard div-by-zero for L1-resident workloads with ~0 MPKI.
+                    mpki_improvement: if mpki > 1e-9 { base_mpki / mpki } else { 1.0 },
+                    ipc_improvement: if base_ipc > 1e-9 { ipc / base_ipc } else { 1.0 },
+                }
+            })
+            .collect();
+        (baseline, cells)
+    });
+
+    let mut cells = Vec::new();
+    let mut baselines = Vec::new();
+    for (baseline, point_cells) in points {
+        baselines.push(baseline);
+        cells.extend(point_cells);
     }
     Fig4Result {
         policy,

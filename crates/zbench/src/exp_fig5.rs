@@ -4,6 +4,7 @@
 use crate::format_table;
 use crate::geomean;
 use crate::opts::{fig_designs, ExpOpts};
+use crate::{point_seed, SweepRunner};
 use zcache_core::PolicyKind;
 use zenergy::{LookupMode, SystemPowerModel};
 use zsim::trace::{record_trace, replay};
@@ -39,36 +40,43 @@ pub struct Fig5Result {
 /// the recorded trace of every workload; metrics normalized to the
 /// serial-lookup SA-4 baseline.
 pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig5Result {
-    let mut workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
-    if let Some(n) = opts.max_workloads {
-        workloads.truncate(n);
-    }
+    let workloads = paper_suite_scaled(opts.cores as usize, opts.scale);
+    let n = opts
+        .max_workloads
+        .unwrap_or(workloads.len())
+        .min(workloads.len());
     let base_cfg = opts.sim_config();
     let power = SystemPowerModel::paper_cmp();
     let designs = fig_designs();
 
-    let mut cells = Vec::new();
-    for wl in &workloads {
-        let trace = record_trace(&base_cfg, wl);
+    // One sweep point per workload; point indices run over the full
+    // suite (of which `--workloads` keeps a prefix), so per-point seeds
+    // survive filtering. See `exp_fig4::run`.
+    let per_workload = SweepRunner::from_opts(opts).run(n, |i| {
+        let wl = &workloads[i];
+        let mut cfg = base_cfg.clone();
+        cfg.seed = point_seed(opts.seed, i as u64);
+        let trace = record_trace(&cfg, wl);
 
         // Baseline: serial SA-4.
         let baseline_design = designs[0]
             .1
             .with_policy(policy)
             .with_lookup(LookupMode::Serial);
-        let base_stats = replay(&base_cfg.clone().with_l2(baseline_design), &trace);
+        let base_stats = replay(&cfg.clone().with_l2(baseline_design), &trace);
         let base_cost = baseline_design
-            .cache_design(base_cfg.l2_lines, base_cfg.l2_banks)
+            .cache_design(cfg.l2_lines, cfg.l2_banks)
             .cost();
         let base_energy = power.evaluate(&base_stats.energy_counts(), &base_cost);
         let base_ipc = base_stats.ipc();
         let base_mpki = base_stats.l2_mpki();
 
+        let mut cells = Vec::new();
         for (label, design) in &designs {
             for lookup in [LookupMode::Serial, LookupMode::Parallel] {
                 let d = design.with_policy(policy).with_lookup(lookup);
-                let stats = replay(&base_cfg.clone().with_l2(d), &trace);
-                let cost = d.cache_design(base_cfg.l2_lines, base_cfg.l2_banks).cost();
+                let stats = replay(&cfg.clone().with_l2(d), &trace);
+                let cost = d.cache_design(cfg.l2_lines, cfg.l2_banks).cost();
                 let energy = power.evaluate(&stats.energy_counts(), &cost);
                 cells.push(Fig5Cell {
                     workload: wl.name().to_string(),
@@ -88,8 +96,12 @@ pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig5Result {
                 });
             }
         }
+        cells
+    });
+    Fig5Result {
+        policy,
+        cells: per_workload.into_iter().flatten().collect(),
     }
-    Fig5Result { policy, cells }
 }
 
 impl Fig5Result {

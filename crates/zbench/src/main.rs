@@ -25,6 +25,8 @@
 //!   --workloads N           limit to first N workloads
 //!   --policy lru|opt        policy for fig4/fig5 (default both)
 //!   --seed N                RNG seed (default 1)
+//!   --jobs N                sweep worker threads (default: all cores);
+//!                           output is byte-identical for any N
 //! ```
 
 use zbench::opts::ExpOpts;
@@ -35,12 +37,14 @@ use zbench::{
 use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
+const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
+                     conflicts|trace|dumptrace|all> [--scale small|paper] [--cores N] [--instrs N] \
+                     [--workloads N] [--policy lru|opt] [--seed N] [--jobs N]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!(
-            "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|all> [options]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
 
@@ -102,8 +106,13 @@ fn main() {
                 opts.seed = take("--seed").parse().expect("--seed: integer");
                 i += 2;
             }
+            "--jobs" => {
+                opts.jobs = take("--jobs").parse().expect("--jobs: integer");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other:?}");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -216,6 +225,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }

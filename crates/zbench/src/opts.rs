@@ -18,6 +18,16 @@ pub struct ExpOpts {
     pub max_workloads: Option<usize>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for sweep experiments (`--jobs`); results are
+    /// byte-identical for any value (see [`crate::SweepRunner`]).
+    pub jobs: usize,
+}
+
+/// Default `--jobs` value: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl ExpOpts {
@@ -29,6 +39,7 @@ impl ExpOpts {
             instrs_per_core: 100_000,
             max_workloads: None,
             seed: 1,
+            jobs: default_jobs(),
         }
     }
 
@@ -40,6 +51,7 @@ impl ExpOpts {
             instrs_per_core: 20_000,
             max_workloads: Some(8),
             seed: 1,
+            jobs: default_jobs(),
         }
     }
 

@@ -1,0 +1,83 @@
+//! Sweep-engine guarantees: results are byte-identical for any `--jobs`
+//! value, and per-point seed derivation is stable under `--workloads`
+//! filtering (a filtered run reproduces the unfiltered run's values for
+//! every point it retains).
+
+use zbench::opts::ExpOpts;
+use zbench::{exp_ablate, exp_fig3, exp_fig4};
+use zcache_core::PolicyKind;
+
+fn opts(jobs: usize) -> ExpOpts {
+    ExpOpts {
+        jobs,
+        cores: 4,
+        instrs_per_core: 15_000,
+        max_workloads: Some(4),
+        ..ExpOpts::smoke()
+    }
+}
+
+#[test]
+fn fig3_results_identical_across_job_counts() {
+    let panel = exp_fig3::Fig3Panel::ZCache;
+    let serial = exp_fig3::run(panel, &opts(1));
+    let parallel = exp_fig3::run(panel, &opts(4));
+    // Debug formatting serializes every field at full precision, so this
+    // is a bitwise comparison of the complete result set, not just of
+    // the rounded report.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert_eq!(
+        exp_fig3::report(panel, &serial),
+        exp_fig3::report(panel, &parallel)
+    );
+}
+
+#[test]
+fn fig4_results_identical_across_job_counts() {
+    let serial = exp_fig4::run(PolicyKind::Lru, &opts(1));
+    let parallel = exp_fig4::run(PolicyKind::Lru, &opts(3));
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+#[test]
+fn ablate_results_identical_across_job_counts() {
+    let o = ExpOpts {
+        cores: 4,
+        instrs_per_core: 20_000,
+        ..opts(1)
+    };
+    let serial = exp_ablate::run(&o);
+    let parallel = exp_ablate::run(&ExpOpts { jobs: 4, ..o });
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+#[test]
+fn workload_filtering_preserves_per_point_seeds() {
+    // Point seeds derive from the workload's index in the FULL suite, so
+    // truncating the suite must not change the values computed for the
+    // workloads that remain: the narrow run's results are a bitwise
+    // prefix of the wide run's.
+    let narrow = exp_fig4::run(
+        PolicyKind::Lru,
+        &ExpOpts {
+            max_workloads: Some(2),
+            ..opts(4)
+        },
+    );
+    let wide = exp_fig4::run(
+        PolicyKind::Lru,
+        &ExpOpts {
+            max_workloads: Some(5),
+            ..opts(4)
+        },
+    );
+    assert!(wide.baselines.len() > narrow.baselines.len());
+    assert_eq!(
+        format!("{:?}", narrow.baselines),
+        format!("{:?}", &wide.baselines[..narrow.baselines.len()])
+    );
+    assert_eq!(
+        format!("{:?}", narrow.cells),
+        format!("{:?}", &wide.cells[..narrow.cells.len()])
+    );
+}

@@ -78,6 +78,12 @@ impl CandidateSet {
         self.items.push(c);
     }
 
+    /// Pre-sizes the buffer for at least `n` candidates (e.g. the
+    /// [`replacement_candidates`] bound), so the hot path never grows it.
+    pub fn reserve(&mut self, n: usize) {
+        self.items.reserve(n);
+    }
+
     /// The candidates gathered so far.
     pub fn as_slice(&self) -> &[Candidate] {
         &self.items

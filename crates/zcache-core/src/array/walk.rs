@@ -99,6 +99,11 @@ pub(crate) struct WalkTable {
     /// Address the walk was performed for; guards stale installs.
     pub for_addr: Option<LineAddr>,
     pub stats: WalkStats,
+    /// Reusable buffer for [`fill_path`](Self::fill_path), so installs
+    /// allocate nothing in steady state.
+    pub path: Vec<u32>,
+    /// Reusable DFS work stack (empty outside a DFS walk).
+    pub stack: Vec<u32>,
 }
 
 impl WalkTable {
@@ -106,6 +111,28 @@ impl WalkTable {
         self.nodes.clear();
         self.for_addr = Some(addr);
         self.stats = WalkStats::default();
+    }
+
+    /// Pre-sizes the table's buffers for walks of up to `candidates`
+    /// nodes, so steady-state walks and installs never reallocate.
+    pub fn reserve(&mut self, candidates: usize) {
+        self.nodes.reserve(candidates);
+        self.path.reserve(candidates);
+        self.stack.reserve(candidates);
+    }
+
+    /// Fills [`path`](Self::path) with the node indices from `node` to
+    /// its root (inclusive, in that order), reusing the buffer.
+    pub fn fill_path(&mut self, mut node: u32) {
+        self.path.clear();
+        loop {
+            self.path.push(node);
+            let p = self.nodes[node as usize].parent;
+            if p == NO_PARENT {
+                break;
+            }
+            node = p;
+        }
     }
 
     /// Walks from `node` to its root, invoking `f` on each node index

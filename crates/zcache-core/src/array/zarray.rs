@@ -86,6 +86,12 @@ impl ZArray {
             lines.is_multiple_of(u64::from(ways)),
             "lines ({lines}) must be a multiple of ways ({ways})"
         );
+        // Slot ids are u32 (`slot()` packs way*rows+row into a SlotId);
+        // reject sizes that would silently truncate.
+        assert!(
+            lines <= u64::from(u32::MAX),
+            "lines ({lines}) must fit in a u32 slot id"
+        );
         let rows = lines / u64::from(ways);
         assert!(
             rows.is_power_of_two(),
@@ -94,6 +100,12 @@ impl ZArray {
         let hashers = (0..ways)
             .map(|w| hash.build(seed.wrapping_mul(0x1000).wrapping_add(u64::from(w))))
             .collect();
+        // Pre-size the walk table to the full R = W·Σ(W−1)^l bound
+        // (capped for degenerate configurations) so steady-state walks
+        // never grow it.
+        let reserve = super::walk::replacement_candidates(ways, levels).min(4096) as usize;
+        let mut walk = WalkTable::default();
+        walk.reserve(reserve);
         Self {
             ways,
             rows,
@@ -103,7 +115,7 @@ impl ZArray {
             walk_kind: WalkKind::Bfs,
             hashers,
             tags: vec![None; lines as usize],
-            walk: WalkTable::default(),
+            walk,
             bloom: None,
         }
     }
@@ -267,6 +279,9 @@ impl CacheArray for ZArray {
 
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
         out.clear();
+        // Match the walk table's pre-sizing so a caller-provided set
+        // reaches steady state after its first walk.
+        out.reserve(self.walk.nodes.capacity());
         self.walk.clear(addr);
         if let Some(b) = self.bloom.as_mut() {
             b.clear();
@@ -333,8 +348,11 @@ impl CacheArray for ZArray {
                     // cannot overshoot the DFS budget.
                     let saved_cap = self.max_candidates;
                     self.max_candidates = budget;
-                    let mut stack: Vec<u32> = (0..self.walk.nodes.len() as u32).rev().collect();
-                    while let Some(idx) = stack.pop() {
+                    self.walk.stack.clear();
+                    self.walk
+                        .stack
+                        .extend((0..self.walk.nodes.len() as u32).rev());
+                    while let Some(idx) = self.walk.stack.pop() {
                         if self.walk.nodes.len() as u32 >= budget {
                             break;
                         }
@@ -345,9 +363,10 @@ impl CacheArray for ZArray {
                         // Push new children so the most recent is expanded
                         // first (depth-first).
                         for child in (before..self.walk.nodes.len() as u32).rev() {
-                            stack.push(child);
+                            self.walk.stack.push(child);
                         }
                     }
+                    self.walk.stack.clear();
                     self.max_candidates = saved_cap;
                 }
             }
@@ -381,12 +400,13 @@ impl CacheArray for ZArray {
 
         // Relocate ancestors down the path: the parent's block moves into
         // the child's (now free) frame, level by level, until the root
-        // frame is free for the incoming block.
-        let mut chain = Vec::with_capacity(usize::from(node.level) + 1);
-        self.walk.path_to_root(victim.token, &mut |i| chain.push(i));
-        for pair in chain.windows(2) {
-            let dst = self.walk.nodes[pair[0] as usize].slot;
-            let src = self.walk.nodes[pair[1] as usize].slot;
+        // frame is free for the incoming block. The path lives in the
+        // walk table's reusable buffer — steady-state installs allocate
+        // nothing.
+        self.walk.fill_path(victim.token);
+        for k in 1..self.walk.path.len() {
+            let dst = self.walk.nodes[self.walk.path[k - 1] as usize].slot;
+            let src = self.walk.nodes[self.walk.path[k] as usize].slot;
             let moving = self.tags[src.idx()];
             debug_assert!(moving.is_some(), "relocating an empty frame");
             if let Some(m) = moving {
@@ -400,7 +420,8 @@ impl CacheArray for ZArray {
             self.tags[dst.idx()] = moving;
             out.moves.push((src, dst));
         }
-        let root_slot = self.walk.nodes[*chain.last().expect("chain is never empty") as usize].slot;
+        let root_slot =
+            self.walk.nodes[*self.walk.path.last().expect("path is never empty") as usize].slot;
         self.tags[root_slot.idx()] = Some(addr);
         out.filled_slot = root_slot;
 

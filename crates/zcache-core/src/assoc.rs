@@ -29,7 +29,10 @@ use crate::types::SlotId;
 /// assert_eq!(uniform_assoc_cdf(1, 0.5), 0.5);
 /// ```
 pub fn uniform_assoc_cdf(n: u32, x: f64) -> f64 {
-    x.clamp(0.0, 1.0).powi(n as i32)
+    // `powf`, not `powi(n as i32)`: the cast would wrap for
+    // n > i32::MAX, turning x^n into a *negative* exponent (x^-1 > 1
+    // for x < 1, no longer a CDF).
+    x.clamp(0.0, 1.0).powf(f64::from(n))
 }
 
 /// Expected eviction priority under the uniformity assumption:
@@ -143,20 +146,13 @@ impl AssociativityMeter {
     }
 
     /// Kolmogorov–Smirnov distance between the measured distribution and
-    /// the uniformity-assumption CDF for `n` candidates: the maximum
-    /// absolute CDF gap over the bin edges.
+    /// the uniformity-assumption CDF for `n` candidates (see
+    /// [`ks_distance_to_uniform`]).
     ///
     /// The Fig. 3 claims reduce to this number being small for
     /// skew/zcaches and large for unhashed set-associative caches.
     pub fn ks_distance_to_uniform(&self, n: u32) -> f64 {
-        let bins = self.hist.num_bins();
-        let cdf = self.hist.cdf();
-        let mut worst: f64 = 0.0;
-        for (i, &emp) in cdf.iter().enumerate() {
-            let x = (i as f64 + 1.0) / bins as f64;
-            worst = worst.max((emp - uniform_assoc_cdf(n, x)).abs());
-        }
-        worst
+        ks_distance_to_uniform(&self.hist, n)
     }
 }
 
@@ -164,6 +160,31 @@ impl Default for AssociativityMeter {
     fn default() -> Self {
         Self::new(256, 1)
     }
+}
+
+/// Kolmogorov–Smirnov distance between a binned empirical distribution
+/// and the uniformity-assumption CDF `F_A(x) = xⁿ`.
+///
+/// The empirical CDF is a step function, so the supremum of
+/// `|emp − F_A|` over a bin `((i−1)/bins, i/bins]` is attained at one of
+/// the bin's edges — and on *either side* of an edge: just below edge
+/// `x_i` the empirical CDF still has its previous value `cdf[i−1]` while
+/// `F_A` has already risen to (almost) `F_A(x_i)`. Evaluating only the
+/// upper side `|cdf[i] − F_A(x_i)|` misses gaps that open at the lower
+/// side, e.g. a point mass in the top bin against `F(x) = x` (distance
+/// 1, not ½). Both sides of every edge are therefore examined.
+pub fn ks_distance_to_uniform(hist: &UnitHistogram, n: u32) -> f64 {
+    let bins = hist.num_bins();
+    let cdf = hist.cdf();
+    let mut worst: f64 = 0.0;
+    let mut prev = 0.0f64;
+    for (i, &emp) in cdf.iter().enumerate() {
+        let x = (i as f64 + 1.0) / bins as f64;
+        let f = uniform_assoc_cdf(n, x);
+        worst = worst.max((emp - f).abs()).max((prev - f).abs());
+        prev = emp;
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -302,6 +323,42 @@ mod tests {
         let d64 = m.ks_distance_to_uniform(64);
         assert!((0.0..=1.0).contains(&d1));
         assert!(d64 <= d1, "a priority-1.0 sample fits high n better");
+    }
+
+    #[test]
+    fn ks_distance_sees_lower_edge_gaps() {
+        // A point mass in the top bin against F(x) = x: the supremum gap
+        // sits at the *lower* side of the edge x = 1.0, where the
+        // empirical CDF is still 0 but F has reached 1. Upper-side-only
+        // evaluation reports 0.5 (the gap at x = 0.5); the true KS
+        // distance is 1.0.
+        let mut hist = UnitHistogram::new(2);
+        hist.record(0.99);
+        assert_eq!(ks_distance_to_uniform(&hist, 1), 1.0);
+
+        // Mirror case: a point mass in the bottom bin against F(x) = x
+        // has its supremum at the upper side of x = 0.5 and must still
+        // be found.
+        let mut low = UnitHistogram::new(2);
+        low.record(0.01);
+        assert_eq!(ks_distance_to_uniform(&low, 1), 0.5);
+
+        // The meter method delegates to the same implementation.
+        let m = AssociativityMeter::new(2, 1);
+        assert_eq!(
+            m.ks_distance_to_uniform(3),
+            ks_distance_to_uniform(m.histogram(), 3)
+        );
+    }
+
+    #[test]
+    fn analytic_cdf_survives_huge_n() {
+        // n > i32::MAX used to wrap to a negative `powi` exponent,
+        // producing values above 1 (x^-1 = 2 at x = 0.5).
+        let p = uniform_assoc_cdf(u32::MAX, 0.5);
+        assert!((0.0..=1.0).contains(&p), "not a CDF value: {p}");
+        assert!(p < 1e-300);
+        assert_eq!(uniform_assoc_cdf(u32::MAX, 1.0), 1.0);
     }
 
     #[test]

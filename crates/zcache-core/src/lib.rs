@@ -63,7 +63,10 @@ pub use array::{
     FullyAssocArray, InstallOutcome, RandomCandsArray, SetAssocArray, SkewArray, WalkKind,
     WalkNodeInfo, WalkStats, ZArray,
 };
-pub use assoc::{eviction_priority, uniform_assoc_cdf, uniform_assoc_mean, AssociativityMeter};
+pub use assoc::{
+    eviction_priority, ks_distance_to_uniform, uniform_assoc_cdf, uniform_assoc_mean,
+    AssociativityMeter,
+};
 pub use cache::{AccessOutcome, Cache, CacheBuilder, DynCache};
 pub use repl::{
     select_victim, AccessCtx, AnyPolicy, BucketedLru, Drrip, FullLru, Lfu, Opt, OptTrace,

@@ -1,0 +1,84 @@
+//! Steady-state allocation audit for the zcache hot path.
+//!
+//! The miss path (`lookup` → `candidates` → `install`) is the
+//! simulator's inner loop; after warm-up it must not touch the heap.
+//! A counting global allocator makes that a hard test rather than a
+//! bench note: the walk table, its path/stack buffers, the caller's
+//! `CandidateSet` and the `InstallOutcome` move list are all reusable
+//! buffers that reach their steady-state capacity during warm-up.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use zcache_core::{CacheArray, CandidateSet, InstallOutcome, WalkKind, ZArray};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Drives `steps` misses through the array, always evicting the first
+/// non-empty candidate (worst case for relocation-chain length when the
+/// set is walked deepest-first is irrelevant here — any victim works).
+fn drive(z: &mut ZArray, cands: &mut CandidateSet, out: &mut InstallOutcome, lo: u64, steps: u64) {
+    for a in lo..lo + steps {
+        if z.lookup(a).is_some() {
+            continue;
+        }
+        z.candidates(a, cands);
+        let victim = cands
+            .first_empty()
+            .copied()
+            .unwrap_or_else(|| *cands.as_slice().last().unwrap());
+        z.install(a, &victim, out);
+    }
+}
+
+fn assert_steady(mut z: ZArray, label: &str) {
+    let mut cands = CandidateSet::new();
+    let mut out = InstallOutcome::default();
+    // Warm-up: fill the array and let every reusable buffer reach its
+    // steady-state capacity.
+    drive(&mut z, &mut cands, &mut out, 0, 4_000);
+    // Steady state: misses on fresh addresses, full walks, deep victims.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    drive(&mut z, &mut cands, &mut out, 1_000_000, 2_000);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: steady-state walk/install path allocated {} time(s)",
+        after - before
+    );
+}
+
+#[test]
+fn bfs_install_path_is_allocation_free() {
+    assert_steady(ZArray::new(1 << 10, 4, 3, 7), "Z4/52 BFS");
+}
+
+#[test]
+fn dfs_install_path_is_allocation_free() {
+    assert_steady(
+        ZArray::new(1 << 10, 4, 3, 7).with_walk_kind(WalkKind::Dfs),
+        "Z4/52 DFS",
+    );
+}

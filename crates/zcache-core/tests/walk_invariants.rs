@@ -53,6 +53,42 @@ fn drive_and_check(mut z: ZArray, addrs: &[u64], picks: &[u8], max_moves: usize)
     }
 }
 
+/// Deterministic replay of the shrunken failure recorded in
+/// `walk_invariants.proptest-regressions` (seed `cc e83b9b60…`). The
+/// shrink comment records `addrs`, `picks` and `seed = 6` but not the
+/// `ways`/`levels` draw, so replay every combination the strategy can
+/// produce — the regression must stay fixed for all of them.
+///
+/// Root cause of the recorded failure: `ZArray::install` replays the
+/// victim's walk path bottom-up, moving each parent's block into its
+/// child's frame. A frame that appears twice on one path is written
+/// early (as a child destination) and read late (as a parent source),
+/// so the replay would relocate the already-overwritten block into a
+/// row it does not hash to, corrupting placement. `ZArray::expand`
+/// therefore must skip any child whose slot is already on its path
+/// (`WalkTable::slot_on_path`). Chains of length ≤ 3 mask the aliasing
+/// (the stale read moves a block onto itself or into a frame a later
+/// move overwrites), which is why these inputs pass at every
+/// `levels ≤ 3`; deeper BFS walks and DFS walks corrupt without the
+/// guard. The invariant bound (`moves ≤ levels − 1`) is unchanged —
+/// the strategy below extends `levels` to 5 so the property actually
+/// exercises the regime where the guard is load-bearing.
+#[test]
+fn regression_cc_e83b9b60_shrunken_case() {
+    let addrs: [u64; 30] = [
+        306, 163, 16, 64, 334, 416, 48, 373, 137, 299, 390, 304, 184, 485, 314, 254, 44, 429, 355,
+        370, 383, 307, 320, 189, 72, 13, 261, 151, 194, 406,
+    ];
+    let picks: [u8; 3] = [176, 24, 226];
+    let seed = 6u64;
+    for ways in 2u32..6 {
+        for levels in 1u32..6 {
+            let z = ZArray::new(u64::from(ways) * 16, ways, levels, seed);
+            drive_and_check(z, &addrs, &picks, levels as usize - 1);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -62,7 +98,11 @@ proptest! {
         picks in prop::collection::vec(any::<u8>(), 1..32),
         seed in 0u64..32,
         ways in 2u32..6,
-        levels in 1u32..4,
+        // Walks up to 5 levels: relocation chains of length ≥ 4 are
+        // where a path-duplicated frame corrupts placement (see
+        // `regression_cc_e83b9b60_shrunken_case`), so the strategy must
+        // reach past the self-healing `levels ≤ 3` regime.
+        levels in 1u32..6,
     ) {
         // lines = ways * 16 rows.
         let z = ZArray::new(u64::from(ways) * 16, ways, levels, seed);

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros. Timing is a
+//! plain wall-clock measurement (warm-up, then a calibrated batch)
+//! printed as ns/iter — no statistics, plots, or comparison baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement harness handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    /// Result of the last `iter` call: `(iterations, elapsed)`.
+    last: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating the iteration count to the target
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time a single call, then size the
+        // batch to fill the target window.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last = Some((iters, start.elapsed()));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            target: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), self.target, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            target: self.target,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    target: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.into()), self.target, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, target: Duration, mut f: F) {
+    let mut b = Bencher { target, last: None };
+    f(&mut b);
+    match b.last {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {name:<40} {ns:>12.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {name:<40} (no measurement: body never called iter)"),
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench targets with
+            // `--test`-style flags in some configurations; benches are
+            // cheap here, so just run them regardless of argv.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+}

@@ -133,7 +133,7 @@ fn associativity_monotone_under_opt() {
                 &trace,
             );
             assert!(
-                s.l2.misses <= last + last / 50,
+                s.l2.misses <= last.saturating_add(last / 50),
                 "{name}: L{levels} misses {} above L{} misses {last}",
                 s.l2.misses,
                 levels - 1
