@@ -12,6 +12,7 @@
 //! | [`exp_fig5`] | Fig. 5 — IPC and BIPS/W for serial/parallel lookups |
 //! | [`exp_bandwidth`] | §VI-D — tag-array bandwidth and self-throttling |
 //! | [`exp_ablate`] | DESIGN.md ablations — walk strategy, early stop, Bloom dedup, bucketed-LRU parameters |
+//! | [`exp_check`] | Differential conformance sweep against the `zoracle` brute-force reference models |
 //! | [`exp_adaptive`] | §VIII future work — adaptive walk throttling |
 //! | [`exp_conflicts`] | §IV conflict-miss decomposition vs fully-associative |
 //!
@@ -25,6 +26,7 @@
 pub mod exp_ablate;
 pub mod exp_adaptive;
 pub mod exp_bandwidth;
+pub mod exp_check;
 pub mod exp_conflicts;
 pub mod exp_fig2;
 pub mod exp_fig3;

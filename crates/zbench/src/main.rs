@@ -16,17 +16,27 @@
 //!   conflicts   §IV conflict-miss decomposition vs fully-associative
 //!   trace       Run a trace file (zworkloads::trace_io format) through the lineup
 //!   dumptrace   Record a workload's L2 stream and export it as a trace file
-//!   all         Everything above
+//!   check       Differential conformance sweep vs the zoracle reference models
+//!   all         Everything above (except check)
 //!
 //! Options:
 //!   --scale small|paper     cache scale (default small)
 //!   --cores N               simulated cores (default 32)
 //!   --instrs N              instructions per core (default 100000)
 //!   --workloads N           limit to first N workloads
-//!   --policy lru|opt        policy for fig4/fig5 (default both)
+//!   --policy lru|opt        policy for fig4/fig5 (default both);
+//!                           check also accepts lfu
 //!   --seed N                RNG seed (default 1)
 //!   --jobs N                sweep worker threads (default: all cores);
 //!                           output is byte-identical for any N
+//!   --accesses N            check: accesses per pair (default 100000)
+//!   --design NAME           check: sa-bitsel|sa-h3|skew|z2|z3|fully (default all)
+//!   --lines N               check: cache frames (default 64)
+//!   --ways N                check: ways per design (default 4)
+//!   --digest-every N        check: full-state digest interval (default 1024)
+//!
+//! `check` exits 1 on divergence, after delta-debugging the failing
+//! stream to a minimal repro and writing it to tests/corpus/.
 //! ```
 
 use zbench::opts::ExpOpts;
@@ -38,8 +48,9 @@ use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
 const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
-                     conflicts|trace|dumptrace|all> [--scale small|paper] [--cores N] [--instrs N] \
-                     [--workloads N] [--policy lru|opt] [--seed N] [--jobs N]";
+                     conflicts|trace|dumptrace|check|all> [--scale small|paper] [--cores N] \
+                     [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] [--jobs N] \
+                     [--accesses N] [--design NAME] [--lines N] [--ways N] [--digest-every N]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +60,9 @@ fn main() {
     };
 
     let mut opts = ExpOpts::quick();
-    let mut policy_filter: Option<PolicyKind> = None;
+    let mut policy_arg: Option<String> = None;
+    let mut check_opts = zbench::exp_check::CheckOpts::default();
+    let mut design_arg: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -92,14 +105,31 @@ fn main() {
                 i += 2;
             }
             "--policy" => {
-                policy_filter = Some(match take("--policy").as_str() {
-                    "lru" => PolicyKind::Lru,
-                    "opt" => PolicyKind::Opt,
-                    other => {
-                        eprintln!("unknown policy {other:?} (lru|opt)");
-                        std::process::exit(2);
-                    }
-                });
+                // Validated at the command site: fig4/fig5 accept
+                // lru|opt, check also accepts lfu.
+                policy_arg = Some(take("--policy"));
+                i += 2;
+            }
+            "--accesses" => {
+                check_opts.accesses = take("--accesses").parse().expect("--accesses: integer");
+                i += 2;
+            }
+            "--design" => {
+                design_arg = Some(take("--design"));
+                i += 2;
+            }
+            "--lines" => {
+                check_opts.lines = take("--lines").parse().expect("--lines: integer");
+                i += 2;
+            }
+            "--ways" => {
+                check_opts.ways = take("--ways").parse().expect("--ways: integer");
+                i += 2;
+            }
+            "--digest-every" => {
+                check_opts.digest_every = take("--digest-every")
+                    .parse()
+                    .expect("--digest-every: integer");
                 i += 2;
             }
             "--seed" => {
@@ -132,13 +162,13 @@ fn main() {
             }
         }
         "fig4" => {
-            for policy in policies(policy_filter) {
+            for policy in policies(policy_arg.as_deref()) {
                 let res = exp_fig4::run(policy, &opts);
                 println!("{}", exp_fig4::report(&res));
             }
         }
         "fig5" => {
-            for policy in policies(policy_filter) {
+            for policy in policies(policy_arg.as_deref()) {
                 let res = exp_fig5::run(policy, &opts);
                 println!("{}", exp_fig5::report(&res));
             }
@@ -203,6 +233,11 @@ fn main() {
             let rows = zbench::exp_trace::run(&refs, lines, opts.seed);
             println!("{}", zbench::exp_trace::report(&rows, refs.len(), lines));
         }
+        "check" => {
+            check_opts.seed = opts.seed;
+            check_opts.jobs = opts.jobs;
+            check(check_opts, design_arg.as_deref(), policy_arg.as_deref());
+        }
         "all" => {
             table1(&opts);
             println!("{}", exp_table2::report(&exp_table2::run()));
@@ -214,7 +249,7 @@ fn main() {
                 let rows = exp_fig3::run(panel, &opts);
                 println!("{}", exp_fig3::report(panel, &rows));
             }
-            for policy in policies(policy_filter) {
+            for policy in policies(policy_arg.as_deref()) {
                 println!("{}", exp_fig4::report(&exp_fig4::run(policy, &opts)));
                 println!("{}", exp_fig5::report(&exp_fig5::run(policy, &opts)));
             }
@@ -231,10 +266,55 @@ fn main() {
     }
 }
 
-fn policies(filter: Option<PolicyKind>) -> Vec<PolicyKind> {
+fn policies(filter: Option<&str>) -> Vec<PolicyKind> {
     match filter {
-        Some(p) => vec![p],
+        Some("lru") => vec![PolicyKind::Lru],
+        Some("opt") => vec![PolicyKind::Opt],
+        Some(other) => {
+            eprintln!("unknown policy {other:?} for this command (lru|opt)");
+            std::process::exit(2);
+        }
         None => vec![PolicyKind::Opt, PolicyKind::Lru],
+    }
+}
+
+/// Runs the differential conformance sweep; on divergence, shrinks each
+/// failing stream to a minimal repro under `tests/corpus/` and exits 1.
+fn check(mut copts: zbench::exp_check::CheckOpts, design: Option<&str>, policy: Option<&str>) {
+    if let Some(name) = design {
+        copts.design = Some(zoracle::CheckDesign::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown design {name:?} (sa-bitsel|sa-h3|skew|z2|z3|fully)");
+            std::process::exit(2);
+        }));
+    }
+    if let Some(name) = policy {
+        copts.policy = Some(zoracle::CheckPolicy::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown policy {name:?} for check (lru|lfu|opt)");
+            std::process::exit(2);
+        }));
+    }
+
+    let rows = zbench::exp_check::run(&copts);
+    println!("{}", zbench::exp_check::report(&rows, copts.accesses));
+
+    let corpus_dir = std::path::Path::new("tests/corpus");
+    let mut diverged = false;
+    for row in rows.iter().filter(|r| r.result.is_err()) {
+        diverged = true;
+        eprintln!(
+            "shrinking {} divergence to a minimal repro...",
+            row.cfg.label()
+        );
+        match zbench::exp_check::shrink_repro(row, &copts, corpus_dir) {
+            Ok((path, len)) => eprintln!(
+                "  wrote {len}-access repro to {} (replayed by the corpus regression test)",
+                path.display()
+            ),
+            Err(e) => eprintln!("  failed to write repro: {e}"),
+        }
+    }
+    if diverged {
+        std::process::exit(1);
     }
 }
 

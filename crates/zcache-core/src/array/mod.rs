@@ -129,6 +129,30 @@ impl InstallOutcome {
     }
 }
 
+/// Folds one `(slot, addr, dirty)` triple into a running tag-state
+/// digest.
+///
+/// This is the digest arithmetic shared by [`CacheArray::state_digest`]
+/// and the `zoracle` reference models: both sides fold their resident
+/// blocks in ascending slot order starting from
+/// [`DIGEST_SEED`], so two caches agree on the digest iff they agree on
+/// the exact placement (and dirtiness) of every block. SplitMix64-style
+/// finalizer; any single-bit difference avalanches.
+#[inline]
+pub fn digest_step(h: u64, slot: SlotId, addr: LineAddr, dirty: bool) -> u64 {
+    let mut z = h
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(slot.0))
+        .wrapping_add(addr.rotate_left(17))
+        .wrapping_add(u64::from(dirty));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Initial value for [`digest_step`] chains.
+pub const DIGEST_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
 /// A cache tag array: associative lookup plus replacement-candidate
 /// generation and installation.
 ///
@@ -173,6 +197,21 @@ pub trait CacheArray {
         let mut n = 0;
         self.for_each_valid(&mut |_, _| n += 1);
         n
+    }
+
+    /// Digest of the full tag state: every resident `(slot, addr)` pair,
+    /// folded in ascending slot order with [`digest_step`].
+    ///
+    /// Two arrays produce the same digest iff they agree on the placement
+    /// of every resident block. Dirty bits are not the array's concern;
+    /// [`Cache::state_digest`](crate::Cache::state_digest) folds them in.
+    fn state_digest(&self) -> u64 {
+        let mut entries: Vec<(SlotId, LineAddr)> = Vec::new();
+        self.for_each_valid(&mut |s, a| entries.push((s, a)));
+        entries.sort_unstable_by_key(|(s, _)| s.0);
+        entries
+            .iter()
+            .fold(DIGEST_SEED, |h, &(s, a)| digest_step(h, s, a, false))
     }
 }
 

@@ -242,6 +242,42 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
     pub fn for_each_resident(&self, f: &mut dyn FnMut(LineAddr)) {
         self.array.for_each_valid(&mut |_, a| f(a));
     }
+
+    /// Candidates gathered by the most recent miss (empty before the
+    /// first miss). Differential harnesses compare this against a
+    /// reference model's independently recomputed walk.
+    pub fn last_candidates(&self) -> &CandidateSet {
+        &self.cands
+    }
+
+    /// Install outcome of the most recent miss, including the full
+    /// relocation move list (default before the first miss).
+    pub fn last_install(&self) -> &InstallOutcome {
+        &self.install
+    }
+
+    /// The policy's current eviction score for `slot` (higher = evict
+    /// first), as consulted by victim selection.
+    pub fn score_of(&self, slot: crate::types::SlotId) -> u64 {
+        self.policy.score(slot)
+    }
+
+    /// Digest of the complete observable state: every resident
+    /// `(slot, addr, dirty)` triple folded in ascending slot order with
+    /// [`digest_step`](crate::array::digest_step).
+    ///
+    /// Two caches produce equal digests iff they agree on the placement
+    /// and dirtiness of every resident block.
+    pub fn state_digest(&self) -> u64 {
+        let mut entries: Vec<(crate::types::SlotId, LineAddr)> = Vec::new();
+        self.array.for_each_valid(&mut |s, a| entries.push((s, a)));
+        entries.sort_unstable_by_key(|(s, _)| s.0);
+        entries
+            .iter()
+            .fold(crate::array::DIGEST_SEED, |h, &(s, a)| {
+                crate::array::digest_step(h, s, a, self.dirty[s.idx()])
+            })
+    }
 }
 
 /// A runtime-configured cache (enum-dispatched array and policy).

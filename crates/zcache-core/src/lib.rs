@@ -59,9 +59,9 @@ pub use adaptive::{AdaptiveConfig, AdaptiveZCache};
 pub use victim::VictimCache;
 
 pub use array::{
-    replacement_candidates, AnyArray, ArrayKind, CacheArray, Candidate, CandidateSet,
+    digest_step, replacement_candidates, AnyArray, ArrayKind, CacheArray, Candidate, CandidateSet,
     FullyAssocArray, InstallOutcome, RandomCandsArray, SetAssocArray, SkewArray, WalkKind,
-    WalkNodeInfo, WalkStats, ZArray,
+    WalkNodeInfo, WalkStats, ZArray, DIGEST_SEED,
 };
 pub use assoc::{
     eviction_priority, ks_distance_to_uniform, uniform_assoc_cdf, uniform_assoc_mean,

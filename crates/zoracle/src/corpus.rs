@@ -1,0 +1,205 @@
+//! Serialization of shrunk divergence repros.
+//!
+//! A repro file is a self-contained record of one failed conformance
+//! check: a `#`-commented header carrying the configuration, followed by
+//! one access per line in the `R|W <hex-addr>` format `zworkloads`
+//! trace files use (so the body can be inspected or replayed with the
+//! existing trace tooling):
+//!
+//! ```text
+//! # zoracle repro: install differs (...)
+//! # design: z3
+//! # policy: lru
+//! # lines: 64
+//! # ways: 4
+//! # seed: 42
+//! W 0x1000002a
+//! R 0x30000400
+//! ```
+//!
+//! Files live in `tests/corpus/` and are replayed by the
+//! `oracle_conformance` regression test on every run, so a bug caught
+//! once stays caught.
+
+use crate::stream::Access;
+use crate::{CheckConfig, CheckDesign, CheckPolicy};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A deserialized repro: configuration plus the shrunk trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// The failing check configuration.
+    pub cfg: CheckConfig,
+    /// The shrunk access trace.
+    pub trace: Vec<Access>,
+    /// Human-readable description of the original divergence.
+    pub note: String,
+}
+
+/// Serializes a repro to `path`.
+pub fn write_repro(path: &Path, cfg: &CheckConfig, trace: &[Access], note: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "# zoracle repro: {}", note.replace('\n', " "))?;
+    writeln!(f, "# design: {}", cfg.design)?;
+    writeln!(f, "# policy: {}", cfg.policy)?;
+    writeln!(f, "# lines: {}", cfg.lines)?;
+    writeln!(f, "# ways: {}", cfg.ways)?;
+    writeln!(f, "# seed: {}", cfg.seed)?;
+    for a in trace {
+        writeln!(f, "{} {:#x}", if a.write { "W" } else { "R" }, a.addr)?;
+    }
+    Ok(())
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses a repro file written by [`write_repro`].
+pub fn read_repro(path: &Path) -> io::Result<Repro> {
+    let text = std::fs::read_to_string(path)?;
+    let mut note = String::new();
+    let mut design = None;
+    let mut policy = None;
+    let mut lines_cfg = None;
+    let mut ways = None;
+    let mut seed = None;
+    let mut trace = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("zoracle repro:") {
+                note = v.trim().to_string();
+            } else if let Some(v) = rest.strip_prefix("design:") {
+                let v = v.trim();
+                design = Some(
+                    CheckDesign::from_name(v)
+                        .ok_or_else(|| bad(format!("unknown design {v:?}")))?,
+                );
+            } else if let Some(v) = rest.strip_prefix("policy:") {
+                let v = v.trim();
+                policy = Some(
+                    CheckPolicy::from_name(v)
+                        .ok_or_else(|| bad(format!("unknown policy {v:?}")))?,
+                );
+            } else if let Some(v) = rest.strip_prefix("lines:") {
+                lines_cfg = Some(parse_u64(v.trim(), ln)?);
+            } else if let Some(v) = rest.strip_prefix("ways:") {
+                ways = Some(parse_u64(v.trim(), ln)? as u32);
+            } else if let Some(v) = rest.strip_prefix("seed:") {
+                seed = Some(parse_u64(v.trim(), ln)?);
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts
+            .next()
+            .ok_or_else(|| bad(format!("line {}: missing op", ln + 1)))?;
+        let write = match op {
+            "R" | "r" => false,
+            "W" | "w" => true,
+            other => return Err(bad(format!("line {}: bad op {other:?}", ln + 1))),
+        };
+        let addr_s = parts
+            .next()
+            .ok_or_else(|| bad(format!("line {}: missing address", ln + 1)))?;
+        trace.push(Access {
+            addr: parse_u64(addr_s, ln)?,
+            write,
+        });
+    }
+
+    let cfg = CheckConfig {
+        design: design.ok_or_else(|| bad("missing '# design:' header".into()))?,
+        policy: policy.ok_or_else(|| bad("missing '# policy:' header".into()))?,
+        lines: lines_cfg.ok_or_else(|| bad("missing '# lines:' header".into()))?,
+        ways: ways.ok_or_else(|| bad("missing '# ways:' header".into()))?,
+        seed: seed.ok_or_else(|| bad("missing '# seed:' header".into()))?,
+    };
+    Ok(Repro { cfg, trace, note })
+}
+
+fn parse_u64(s: &str, ln: usize) -> io::Result<u64> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|e| bad(format!("line {}: bad number {s:?}: {e}", ln + 1)))
+}
+
+/// Loads every `.trace` repro under `dir`, sorted by file name for
+/// deterministic replay order. A missing directory is an empty corpus.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Repro)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let repro = read_repro(&p)?;
+        out.push((p, repro));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cfg = CheckConfig::new(CheckDesign::Z3, CheckPolicy::Lfu, 64, 4, 99);
+        let trace = vec![
+            Access {
+                addr: 0x1000_002a,
+                write: true,
+            },
+            Access {
+                addr: 0x3000_0400,
+                write: false,
+            },
+        ];
+        let dir = std::env::temp_dir().join("zoracle-corpus-test");
+        let path = dir.join("roundtrip.trace");
+        write_repro(&path, &cfg, &trace, "install differs (unit test)").unwrap();
+        let r = read_repro(&path).unwrap();
+        assert_eq!(r.cfg, cfg);
+        assert_eq!(r.trace, trace);
+        assert_eq!(r.note, "install differs (unit test)");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_corpus_dir_is_empty() {
+        let got = load_corpus(Path::new("/nonexistent/zoracle-corpus")).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        let dir = std::env::temp_dir().join("zoracle-corpus-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "# design: warp-drive\nR 0x1\n").unwrap();
+        assert!(read_repro(&path).is_err());
+        std::fs::write(&path, "R 0x1\n").unwrap();
+        assert!(read_repro(&path).is_err(), "missing headers must error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,259 @@
+//! The differential runner: production cache vs. reference twin,
+//! lockstep, field-for-field.
+
+use crate::stream::{next_uses, Access};
+use crate::CheckConfig;
+
+/// Install outcome `(evicted, evicted_slot, filled, moves)` as observed
+/// on one side of the differential run.
+pub type InstallOutcome = (Option<u64>, Option<u32>, u32, Vec<(u32, u32)>);
+
+/// What diverged between the production cache and the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// One side hit where the other missed.
+    HitMiss {
+        /// Production outcome.
+        dut: bool,
+        /// Reference outcome.
+        oracle: bool,
+    },
+    /// The replacement-candidate lists differ (slots or resident blocks,
+    /// compared in discovery order).
+    Candidates {
+        /// Production `(slot, resident)` list.
+        dut: Vec<(u32, Option<u64>)>,
+        /// Reference `(slot, resident)` list.
+        oracle: Vec<(u32, Option<u64>)>,
+    },
+    /// The install outcomes differ (victim, relocations, or fill).
+    Install {
+        /// Production `(evicted, evicted_slot, filled, moves)`.
+        dut: InstallOutcome,
+        /// Reference `(evicted, evicted_slot, filled, moves)`.
+        oracle: InstallOutcome,
+    },
+    /// The write-back flags of an eviction differ.
+    EvictedDirty {
+        /// Production flag.
+        dut: bool,
+        /// Reference flag.
+        oracle: bool,
+    },
+    /// The tag/dirty state digests differ.
+    Digest {
+        /// Production digest.
+        dut: u64,
+        /// Reference digest.
+        oracle: u64,
+    },
+}
+
+/// A divergence at a specific access of the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the trace of the offending access.
+    pub index: usize,
+    /// The access itself.
+    pub access: Access,
+    /// What differed.
+    pub kind: DivergenceKind,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let op = if self.access.write { "W" } else { "R" };
+        write!(f, "access #{} ({op} {:#x}): ", self.index, self.access.addr)?;
+        match &self.kind {
+            DivergenceKind::HitMiss { dut, oracle } => {
+                write!(f, "hit/miss mismatch (dut hit={dut}, oracle hit={oracle})")
+            }
+            DivergenceKind::Candidates { dut, oracle } => write!(
+                f,
+                "candidate lists differ (dut {} cands {:?}, oracle {} cands {:?})",
+                dut.len(),
+                dut,
+                oracle.len(),
+                oracle
+            ),
+            DivergenceKind::Install { dut, oracle } => {
+                write!(f, "install differs (dut {dut:?}, oracle {oracle:?})")
+            }
+            DivergenceKind::EvictedDirty { dut, oracle } => write!(
+                f,
+                "write-back flag differs (dut dirty={dut}, oracle dirty={oracle})"
+            ),
+            DivergenceKind::Digest { dut, oracle } => write!(
+                f,
+                "state digests differ (dut {dut:#018x}, oracle {oracle:#018x})"
+            ),
+        }
+    }
+}
+
+/// Statistics of a clean differential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffSummary {
+    /// Accesses compared.
+    pub accesses: u64,
+    /// Misses (agreed on by both sides).
+    pub misses: u64,
+    /// Evictions (agreed on by both sides).
+    pub evictions: u64,
+    /// Relocations performed by the production side.
+    pub relocations: u64,
+    /// Final state digest (identical on both sides).
+    pub digest: u64,
+}
+
+/// Drives the production cache and its reference twin over `trace`,
+/// comparing every observable of every access, plus a full state digest
+/// every `digest_every` accesses and once at the end.
+///
+/// Returns the run statistics, or the first [`Divergence`].
+///
+/// # Panics
+///
+/// Panics if `digest_every == 0`.
+// A Divergence carries the full candidate/install detail needed for the
+// repro note; it is produced at most once per run, so the large Err
+// variant never sits on a hot path.
+#[allow(clippy::result_large_err)]
+pub fn run_diff(
+    cfg: &CheckConfig,
+    trace: &[Access],
+    digest_every: u64,
+) -> Result<DiffSummary, Divergence> {
+    assert!(digest_every > 0, "digest_every must be positive");
+    let next = next_uses(trace);
+    let mut dut = cfg.build_dut();
+    let mut oracle = cfg.build_oracle();
+    let mut evictions = 0u64;
+
+    for (i, &acc) in trace.iter().enumerate() {
+        let out = dut.access_full(acc.addr, acc.write, next[i]);
+        let ref_out = oracle.access(acc.addr, acc.write, next[i]);
+
+        let diverge = |kind| {
+            Err(Divergence {
+                index: i,
+                access: acc,
+                kind,
+            })
+        };
+
+        if out.hit != ref_out.hit {
+            return diverge(DivergenceKind::HitMiss {
+                dut: out.hit,
+                oracle: ref_out.hit,
+            });
+        }
+
+        if !out.hit {
+            let dut_cands: Vec<(u32, Option<u64>)> = dut
+                .last_candidates()
+                .as_slice()
+                .iter()
+                .map(|c| (c.slot.0, c.addr))
+                .collect();
+            if dut_cands != ref_out.cands {
+                return diverge(DivergenceKind::Candidates {
+                    dut: dut_cands,
+                    oracle: ref_out.cands,
+                });
+            }
+
+            let install = dut.last_install();
+            let dut_install = (
+                install.evicted,
+                install.evicted_slot.map(|s| s.0),
+                install.filled_slot.0,
+                install
+                    .moves
+                    .iter()
+                    .map(|&(a, b)| (a.0, b.0))
+                    .collect::<Vec<_>>(),
+            );
+            let ref_install = (
+                ref_out.evicted,
+                ref_out.evicted_slot,
+                ref_out.filled_slot.expect("miss always fills"),
+                ref_out.moves.clone(),
+            );
+            if dut_install != ref_install {
+                return diverge(DivergenceKind::Install {
+                    dut: dut_install,
+                    oracle: ref_install,
+                });
+            }
+
+            if out.evicted_dirty != ref_out.evicted_dirty {
+                return diverge(DivergenceKind::EvictedDirty {
+                    dut: out.evicted_dirty,
+                    oracle: ref_out.evicted_dirty,
+                });
+            }
+            if out.evicted.is_some() {
+                evictions += 1;
+            }
+        }
+
+        if (i as u64 + 1).is_multiple_of(digest_every) {
+            let (d, o) = (dut.state_digest(), oracle.state_digest());
+            if d != o {
+                return diverge(DivergenceKind::Digest { dut: d, oracle: o });
+            }
+        }
+    }
+
+    let (d, o) = (dut.state_digest(), oracle.state_digest());
+    if d != o {
+        return Err(Divergence {
+            index: trace.len().saturating_sub(1),
+            access: *trace.last().unwrap_or(&Access {
+                addr: 0,
+                write: false,
+            }),
+            kind: DivergenceKind::Digest { dut: d, oracle: o },
+        });
+    }
+
+    let stats = dut.stats();
+    Ok(DiffSummary {
+        accesses: stats.accesses,
+        misses: stats.misses,
+        evictions,
+        relocations: stats.relocations,
+        digest: d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::gen_stream;
+    use crate::{check_grid, CheckConfig};
+
+    #[test]
+    fn short_sweep_is_clean_on_every_pair() {
+        for (design, policy) in check_grid() {
+            let cfg = CheckConfig::new(design, policy, 64, 4, 5);
+            let trace = gen_stream(3_000, 64, 17);
+            let summary =
+                run_diff(&cfg, &trace, 128).unwrap_or_else(|d| panic!("{}: {d}", cfg.label()));
+            assert_eq!(summary.accesses, 3_000);
+            assert!(summary.misses > 0, "{}: no misses exercised", cfg.label());
+        }
+    }
+
+    #[test]
+    fn zcache_sweep_exercises_relocations() {
+        let cfg = CheckConfig::new(crate::CheckDesign::Z3, crate::CheckPolicy::Lru, 64, 4, 5);
+        let trace = gen_stream(5_000, 64, 23);
+        let summary = run_diff(&cfg, &trace, 64).expect("clean");
+        assert!(
+            summary.relocations > 0,
+            "deep walks must relocate: {summary:?}"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The reference cache: array + policy + dirty state, recomputed the
+//! slow, obvious way on every access.
+
+use crate::array::{RefArray, RefCand};
+use crate::{CheckConfig, RefPolicy};
+use std::collections::HashSet;
+use zcache_core::{digest_step, SlotId, DIGEST_SEED};
+
+/// Everything the reference model observed for one access; the
+/// differential runner compares this field-for-field against the
+/// production cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RefOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Block evicted (occupied-victim misses only).
+    pub evicted: Option<u64>,
+    /// Whether the evicted block was dirty.
+    pub evicted_dirty: bool,
+    /// Frame the evicted block vacated.
+    pub evicted_slot: Option<u32>,
+    /// Frame the incoming block landed in (misses only).
+    pub filled_slot: Option<u32>,
+    /// Relocations performed, deepest first.
+    pub moves: Vec<(u32, u32)>,
+    /// Candidate `(slot, resident)` pairs in discovery order (misses
+    /// only).
+    pub cands: Vec<(u32, Option<u64>)>,
+}
+
+/// The brute-force reference cache.
+///
+/// Dirty state is a set of addresses (not per-frame bits), so production
+/// bugs that lose or misroute dirty bits across relocations cannot be
+/// replicated here.
+#[derive(Debug, Clone)]
+pub struct OracleCache {
+    array: RefArray,
+    policy: RefPolicy,
+    dirty: HashSet<u64>,
+    tick: u64,
+}
+
+impl OracleCache {
+    /// Builds the reference twin for a check configuration.
+    pub fn new(cfg: &CheckConfig) -> Self {
+        Self {
+            array: RefArray::new(cfg),
+            policy: RefPolicy::new(cfg.policy),
+            dirty: HashSet::new(),
+            tick: 0,
+        }
+    }
+
+    /// Selects the victim index from `cands` exactly as the production
+    /// contract specifies: the first empty frame wins immediately;
+    /// otherwise the first candidate whose rank is *strictly* higher
+    /// than every earlier candidate's (first-seen wins ties).
+    fn select_victim(&self, cands: &[RefCand]) -> usize {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, c) in cands.iter().enumerate() {
+            match c.addr {
+                None => return i,
+                Some(a) => {
+                    let r = self.policy.rank(a);
+                    match best {
+                        Some((_, br)) if br >= r => {}
+                        _ => best = Some((i, r)),
+                    }
+                }
+            }
+        }
+        best.expect("candidate sets are never empty").0
+    }
+
+    /// Processes one access. `next_use` is the stream position of the
+    /// next reference to `addr` (`u64::MAX` = never), consumed only by
+    /// the OPT rank.
+    pub fn access(&mut self, addr: u64, write: bool, next_use: u64) -> RefOutcome {
+        let now = self.tick;
+        self.tick += 1;
+
+        if self.array.lookup(addr).is_some() {
+            self.policy.on_hit(addr, now, next_use);
+            if write {
+                self.dirty.insert(addr);
+            }
+            return RefOutcome {
+                hit: true,
+                ..RefOutcome::default()
+            };
+        }
+
+        let cands = self.array.candidates(addr);
+        let victim_idx = self.select_victim(&cands);
+        let install = self.array.install(addr, victim_idx, &cands);
+
+        let mut evicted_dirty = false;
+        if let Some(e) = install.evicted {
+            evicted_dirty = self.dirty.remove(&e);
+            self.policy.on_evict(e);
+        }
+        self.policy.on_fill(addr, now, next_use);
+        if write {
+            self.dirty.insert(addr);
+        }
+
+        RefOutcome {
+            hit: false,
+            evicted: install.evicted,
+            evicted_dirty,
+            evicted_slot: install.evicted_slot,
+            filled_slot: Some(install.filled_slot),
+            moves: install.moves,
+            cands: cands.iter().map(|c| (c.slot, c.addr)).collect(),
+        }
+    }
+
+    /// Digest over the reference tag + dirty state, using the same fold
+    /// as the production side so equal states hash equal.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = DIGEST_SEED;
+        self.array.for_each_valid(&mut |slot, a| {
+            h = digest_step(h, SlotId(slot), a, self.dirty.contains(&a));
+        });
+        h
+    }
+
+    /// Occupied frames.
+    pub fn occupancy(&self) -> u64 {
+        let mut n = 0;
+        self.array.for_each_valid(&mut |_, _| n += 1);
+        n
+    }
+
+    /// Whether `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.array.lookup(addr).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckDesign, CheckPolicy};
+
+    fn cfg(d: CheckDesign, p: CheckPolicy) -> CheckConfig {
+        CheckConfig::new(d, p, 64, 4, 11)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut o = OracleCache::new(&cfg(CheckDesign::Z2, CheckPolicy::Lru));
+        assert!(!o.access(5, false, u64::MAX).hit);
+        assert!(o.access(5, false, u64::MAX).hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_fully_assoc() {
+        let mut o = OracleCache::new(&CheckConfig::new(
+            CheckDesign::Fully,
+            CheckPolicy::Lru,
+            4,
+            4,
+            1,
+        ));
+        for a in 0..4u64 {
+            o.access(a, false, u64::MAX);
+        }
+        o.access(0, false, u64::MAX); // refresh 0; victim is now 1
+        let out = o.access(100, false, u64::MAX);
+        assert_eq!(out.evicted, Some(1));
+    }
+
+    #[test]
+    fn dirty_follows_block_through_relocations() {
+        let mut o = OracleCache::new(&cfg(CheckDesign::Z3, CheckPolicy::Lru));
+        let mut written = HashSet::new();
+        for a in 0..500u64 {
+            let out = o.access(a, true, u64::MAX);
+            written.insert(a);
+            if let Some(e) = out.evicted {
+                assert!(out.evicted_dirty, "written block {e} evicted clean");
+                written.remove(&e);
+            }
+        }
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut o = OracleCache::new(&cfg(CheckDesign::SaH3, CheckPolicy::Lru));
+        let d0 = o.state_digest();
+        o.access(9, false, u64::MAX);
+        let d1 = o.state_digest();
+        assert_ne!(d0, d1);
+        o.access(9, true, u64::MAX); // dirty bit alone must change it
+        assert_ne!(d1, o.state_digest());
+    }
+}

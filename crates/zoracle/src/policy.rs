@@ -1,0 +1,149 @@
+//! Reference replacement policies: global ranks kept per *address*.
+//!
+//! The production policies keep per-slot state in flat vectors and rely
+//! on `on_move` notifications to follow relocated blocks. The reference
+//! keeps its state keyed by block address in plain maps, so relocation
+//! bookkeeping cannot be wrong here by construction — if the production
+//! side drops or misroutes policy state during a zcache relocation, the
+//! two sides pick different victims and the differential runner flags
+//! it.
+
+use crate::CheckPolicy;
+use std::collections::HashMap;
+
+/// Address-keyed reference policy state.
+#[derive(Debug, Clone)]
+pub enum RefPolicy {
+    /// LRU: rank by last-use time (one tick per access).
+    Lru {
+        /// `addr → last-use tick`.
+        last: HashMap<u64, u64>,
+    },
+    /// LFU: rank by access count (1 on fill, +1 per hit, saturating).
+    Lfu {
+        /// `addr → access count`.
+        count: HashMap<u64, u64>,
+    },
+    /// OPT: rank by next-use stream position.
+    Opt {
+        /// `addr → next-use position` (`u64::MAX` = never again).
+        next: HashMap<u64, u64>,
+    },
+}
+
+impl RefPolicy {
+    /// Creates the reference state for a grid policy.
+    pub fn new(kind: CheckPolicy) -> Self {
+        match kind {
+            CheckPolicy::Lru => RefPolicy::Lru {
+                last: HashMap::new(),
+            },
+            CheckPolicy::Lfu => RefPolicy::Lfu {
+                count: HashMap::new(),
+            },
+            CheckPolicy::Opt => RefPolicy::Opt {
+                next: HashMap::new(),
+            },
+        }
+    }
+
+    /// Records a hit on resident `addr` at tick `now`.
+    pub fn on_hit(&mut self, addr: u64, now: u64, next_use: u64) {
+        match self {
+            RefPolicy::Lru { last } => {
+                last.insert(addr, now);
+            }
+            RefPolicy::Lfu { count } => {
+                let c = count.entry(addr).or_insert(0);
+                *c = c.saturating_add(1);
+            }
+            RefPolicy::Opt { next } => {
+                next.insert(addr, next_use);
+            }
+        }
+    }
+
+    /// Records a fill of `addr` at tick `now`.
+    pub fn on_fill(&mut self, addr: u64, now: u64, next_use: u64) {
+        match self {
+            RefPolicy::Lru { last } => {
+                last.insert(addr, now);
+            }
+            RefPolicy::Lfu { count } => {
+                count.insert(addr, 1);
+            }
+            RefPolicy::Opt { next } => {
+                next.insert(addr, next_use);
+            }
+        }
+    }
+
+    /// Forgets an evicted `addr`.
+    pub fn on_evict(&mut self, addr: u64) {
+        match self {
+            RefPolicy::Lru { last } => {
+                last.remove(&addr);
+            }
+            RefPolicy::Lfu { count } => {
+                count.remove(&addr);
+            }
+            RefPolicy::Opt { next } => {
+                next.remove(&addr);
+            }
+        }
+    }
+
+    /// Eviction rank of resident `addr`: higher = evict first. The
+    /// orderings (and the possible ties) match the production scores:
+    /// LRU ranks are unique per access tick, LFU ties on equal counts,
+    /// OPT ties only on "never used again".
+    pub fn rank(&self, addr: u64) -> u64 {
+        match self {
+            RefPolicy::Lru { last } => u64::MAX - last.get(&addr).copied().unwrap_or(0),
+            RefPolicy::Lfu { count } => u64::MAX - count.get(&addr).copied().unwrap_or(0),
+            RefPolicy::Opt { next } => next.get(&addr).copied().unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_ranks_older_higher() {
+        let mut p = RefPolicy::new(CheckPolicy::Lru);
+        p.on_fill(10, 0, u64::MAX);
+        p.on_fill(11, 1, u64::MAX);
+        assert!(p.rank(10) > p.rank(11));
+        p.on_hit(10, 2, u64::MAX);
+        assert!(p.rank(11) > p.rank(10));
+    }
+
+    #[test]
+    fn lfu_ranks_rarer_higher() {
+        let mut p = RefPolicy::new(CheckPolicy::Lfu);
+        p.on_fill(10, 0, u64::MAX);
+        p.on_fill(11, 1, u64::MAX);
+        p.on_hit(11, 2, u64::MAX);
+        assert!(p.rank(10) > p.rank(11));
+    }
+
+    #[test]
+    fn opt_ranks_furthest_higher() {
+        let mut p = RefPolicy::new(CheckPolicy::Opt);
+        p.on_fill(10, 0, 50);
+        p.on_fill(11, 1, u64::MAX);
+        assert!(p.rank(11) > p.rank(10));
+    }
+
+    #[test]
+    fn evict_forgets_state() {
+        let mut p = RefPolicy::new(CheckPolicy::Lfu);
+        p.on_fill(10, 0, u64::MAX);
+        p.on_hit(10, 1, u64::MAX);
+        p.on_evict(10);
+        p.on_fill(10, 2, u64::MAX);
+        assert_eq!(p.rank(10), u64::MAX - 1, "count reset on refill");
+    }
+}

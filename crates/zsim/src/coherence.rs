@@ -89,6 +89,11 @@ impl Directory {
         self.entries.remove(&line).map(|e| e.sharers).unwrap_or(0)
     }
 
+    /// Iterates all tracked lines and their entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DirEntry)> + '_ {
+        self.entries.iter().map(|(&l, &e)| (l, e))
+    }
+
     /// Number of tracked lines.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -282,6 +282,12 @@ impl System {
         &self.banks
     }
 
+    /// Read access to the MESI directory (for invariant checks in
+    /// tests/examples).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
     /// Read access to the per-core L1s (for inspection in tests/examples).
     pub fn l1s(&self) -> &[DynCache] {
         &self.l1s

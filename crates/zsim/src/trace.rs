@@ -58,6 +58,16 @@ impl L2Trace {
         self.refs.is_empty()
     }
 
+    /// Flattens the trace to `(line, write)` pairs in global order —
+    /// the shape the `zoracle` differential harness consumes, so a
+    /// recorded workload stream can drive a production cache and its
+    /// brute-force reference twin in lockstep (posted write-backs become
+    /// plain writes; bank interleaving is a timing concern the
+    /// single-array conformance check deliberately ignores).
+    pub fn conformance_stream(&self) -> Vec<(u64, bool)> {
+        self.refs.iter().map(|r| (r.line, r.write)).collect()
+    }
+
     /// Computes, for each reference, the position of the next reference
     /// to the same line (`u64::MAX` if never) — the OPT oracle.
     pub fn next_uses(&self) -> Vec<u64> {
