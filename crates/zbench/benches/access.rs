@@ -1,0 +1,88 @@
+//! End-to-end access-path throughput across the full design × policy
+//! grid `zbench perf` gates on: z2/z3/z4, set-associative (H3), skew and
+//! fully-associative, each under LRU, bucketed-LRU and LFU.
+//!
+//! Where `benches/arrays.rs` isolates the array organizations under a
+//! single policy, this suite times the complete engine — lookup, fused
+//! walk + victim selection, install, policy bookkeeping — exactly as the
+//! figure sweeps drive it, so a regression anywhere in the pipeline
+//! shows up here first.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zcache_core::{ArrayKind, CacheBuilder, DynCache, PolicyKind};
+use zhash::HashKind;
+use zworkloads::{AddressStream, Component, CoreSpec, Workload};
+
+/// The fixed-seed Zipf(0.8) reference stream of `zbench perf`, with 20%
+/// writes.
+fn refs(n: usize) -> Vec<(u64, bool)> {
+    let wl = Workload::uniform(
+        "bench",
+        CoreSpec::new(
+            vec![(
+                1.0,
+                Component::Zipf {
+                    lines: 16_384,
+                    s: 0.8,
+                },
+            )],
+            0.2,
+            1,
+        ),
+    );
+    let mut s = wl.streams(1, 1).remove(0);
+    (0..n)
+        .map(|_| {
+            let r = s.next_ref();
+            (r.line, r.write)
+        })
+        .collect()
+}
+
+fn build(kind: ArrayKind, lines: u64, policy: PolicyKind) -> DynCache {
+    CacheBuilder::new()
+        .lines(lines)
+        .ways(4)
+        .array(kind)
+        .policy(policy)
+        .seed(1)
+        .build()
+}
+
+fn bench_access(c: &mut Criterion) {
+    let designs = [
+        ("sa-h3", ArrayKind::SetAssoc { hash: HashKind::H3 }, 4096),
+        ("skew", ArrayKind::Skew, 4096),
+        ("z2", ArrayKind::ZCache { levels: 2 }, 4096),
+        ("z3", ArrayKind::ZCache { levels: 3 }, 4096),
+        ("z4", ArrayKind::ZCache { levels: 4 }, 4096),
+        // Fully-associative candidate generation is O(lines); a smaller
+        // array keeps the bench window comparable.
+        ("fully", ArrayKind::Fully, 1024u64),
+    ];
+    let policies = [
+        ("lru", PolicyKind::Lru),
+        ("bucketed-lru", PolicyKind::BucketedLru { bits: 8, k: 204 }),
+        ("lfu", PolicyKind::Lfu),
+    ];
+    let warm = refs(50_000);
+    let timed = refs(4_096);
+    for (dname, kind, lines) in designs {
+        for (pname, policy) in policies {
+            let mut cache = build(kind, lines, policy);
+            for &(a, w) in &warm {
+                black_box(cache.access_full(a, w, u64::MAX));
+            }
+            c.bench_function(format!("access/{dname}/{pname}"), |b| {
+                b.iter(|| {
+                    for &(a, w) in &timed {
+                        black_box(cache.access_full(a, w, u64::MAX));
+                    }
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

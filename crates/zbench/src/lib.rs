@@ -13,6 +13,7 @@
 //! | [`exp_bandwidth`] | §VI-D — tag-array bandwidth and self-throttling |
 //! | [`exp_ablate`] | DESIGN.md ablations — walk strategy, early stop, Bloom dedup, bucketed-LRU parameters |
 //! | [`exp_check`] | Differential conformance sweep against the `zoracle` brute-force reference models |
+//! | [`exp_perf`] | Simulator throughput (accesses/sec) across the design lineup, with baseline tracking |
 //! | [`exp_adaptive`] | §VIII future work — adaptive walk throttling |
 //! | [`exp_conflicts`] | §IV conflict-miss decomposition vs fully-associative |
 //!
@@ -32,6 +33,7 @@ pub mod exp_fig2;
 pub mod exp_fig3;
 pub mod exp_fig4;
 pub mod exp_fig5;
+pub mod exp_perf;
 pub mod exp_table2;
 pub mod exp_trace;
 pub mod opts;

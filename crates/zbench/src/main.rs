@@ -17,7 +17,8 @@
 //!   trace       Run a trace file (zworkloads::trace_io format) through the lineup
 //!   dumptrace   Record a workload's L2 stream and export it as a trace file
 //!   check       Differential conformance sweep vs the zoracle reference models
-//!   all         Everything above (except check)
+//!   perf        Access-path throughput (accesses/sec); writes BENCH_access.json
+//!   all         Everything above (except check and perf)
 //!
 //! Options:
 //!   --scale small|paper     cache scale (default small)
@@ -34,6 +35,9 @@
 //!   --lines N               check: cache frames (default 64)
 //!   --ways N                check: ways per design (default 4)
 //!   --digest-every N        check: full-state digest interval (default 1024)
+//!   --smoke                 perf: ~2-second CI configuration
+//!   --reps N                perf: timed repetitions per pair; best rep is reported
+//!   --out FILE              perf: JSON artifact path (default BENCH_access.json)
 //!
 //! `check` exits 1 on divergence, after delta-debugging the failing
 //! stream to a minimal repro and writing it to tests/corpus/.
@@ -48,9 +52,10 @@ use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
 const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
-                     conflicts|trace|dumptrace|check|all> [--scale small|paper] [--cores N] \
+                     conflicts|trace|dumptrace|check|perf|all> [--scale small|paper] [--cores N] \
                      [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] [--jobs N] \
-                     [--accesses N] [--design NAME] [--lines N] [--ways N] [--digest-every N]";
+                     [--accesses N] [--design NAME] [--lines N] [--ways N] [--digest-every N] \
+                     [--smoke] [--reps N] [--out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +68,10 @@ fn main() {
     let mut policy_arg: Option<String> = None;
     let mut check_opts = zbench::exp_check::CheckOpts::default();
     let mut design_arg: Option<String> = None;
+    let mut accesses_arg: Option<usize> = None;
+    let mut reps_arg: Option<usize> = None;
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -112,6 +121,19 @@ fn main() {
             }
             "--accesses" => {
                 check_opts.accesses = take("--accesses").parse().expect("--accesses: integer");
+                accesses_arg = Some(check_opts.accesses);
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--reps" => {
+                reps_arg = Some(take("--reps").parse().expect("--reps: integer"));
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(take("--out"));
                 i += 2;
             }
             "--design" => {
@@ -237,6 +259,30 @@ fn main() {
             check_opts.seed = opts.seed;
             check_opts.jobs = opts.jobs;
             check(check_opts, design_arg.as_deref(), policy_arg.as_deref());
+        }
+        "perf" => {
+            let mut popts = if smoke {
+                zbench::exp_perf::PerfOpts::smoke()
+            } else {
+                zbench::exp_perf::PerfOpts::default()
+            };
+            popts.seed = opts.seed;
+            if let Some(n) = accesses_arg {
+                popts.accesses = n;
+                popts.warmup = n / 4;
+            }
+            if let Some(r) = reps_arg {
+                popts.reps = r.max(1);
+            }
+            let rows = zbench::exp_perf::run(&popts);
+            println!("{}", zbench::exp_perf::report(&rows));
+            let path = out_path.unwrap_or_else(|| "BENCH_access.json".to_string());
+            let json = zbench::exp_perf::to_json(&rows, &popts);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {path}");
         }
         "all" => {
             table1(&opts);

@@ -1,8 +1,12 @@
 //! Fully-associative array.
 
+use super::tags::{TagIndex, TagStore};
 use super::{CacheArray, Candidate, CandidateSet, InstallOutcome};
 use crate::types::{LineAddr, SlotId};
-use std::collections::HashMap;
+
+/// Fixed seed for the tag index: determinism must not depend on process
+/// state (the std `HashMap` it replaces was randomly keyed per process).
+const INDEX_SEED: u64 = 0x5eed_fa11;
 
 /// A fully-associative cache array: any block can live in any frame, and
 /// every resident block is a replacement candidate.
@@ -27,8 +31,8 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FullyAssocArray {
-    tags: Vec<Option<LineAddr>>,
-    map: HashMap<LineAddr, SlotId>,
+    tags: TagStore,
+    map: TagIndex,
     free: Vec<SlotId>,
 }
 
@@ -42,8 +46,8 @@ impl FullyAssocArray {
         assert!(lines > 0, "need at least one line");
         assert!(lines <= u64::from(u32::MAX), "lines must fit in u32");
         Self {
-            tags: vec![None; lines as usize],
-            map: HashMap::with_capacity(lines as usize),
+            tags: TagStore::new(lines as usize),
+            map: TagIndex::with_capacity(lines as usize, INDEX_SEED),
             free: (0..lines as u32).rev().map(SlotId).collect(),
         }
     }
@@ -60,11 +64,11 @@ impl CacheArray for FullyAssocArray {
     }
 
     fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
-        self.map.get(&addr).copied()
+        self.map.get(addr)
     }
 
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
-        self.tags[slot.idx()]
+        self.tags.get(slot.idx())
     }
 
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
@@ -80,10 +84,12 @@ impl CacheArray for FullyAssocArray {
             out.tag_reads = 1;
             return;
         }
-        for (i, tag) in self.tags.iter().enumerate() {
+        // No free frame: the array is full, so every frame holds a block.
+        out.reserve(self.tags.len());
+        for i in 0..self.tags.len() {
             out.push(Candidate {
                 slot: SlotId(i as u32),
-                addr: *tag,
+                addr: self.tags.get(i),
                 token: i as u32,
             });
         }
@@ -92,15 +98,20 @@ impl CacheArray for FullyAssocArray {
 
     fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
         out.clear();
-        let prev = self.tags[victim.slot.idx()];
+        let prev = self.tags.get(victim.slot.idx());
         debug_assert_eq!(prev, victim.addr, "stale candidate");
         if let Some(p) = prev {
-            self.map.remove(&p);
+            self.map.remove(p);
+        } else if self.free.last() == Some(&victim.slot) {
+            // Candidates only ever offer the top of the free list, so
+            // consuming it is an O(1) pop.
+            self.free.pop();
         } else {
-            // Consuming a free frame: drop it from the free list.
+            // Cold fallback for callers that install into an arbitrary
+            // empty frame (e.g. hand-built candidates in tests).
             self.free.retain(|&s| s != victim.slot);
         }
-        self.tags[victim.slot.idx()] = Some(addr);
+        self.tags.set(victim.slot.idx(), addr);
         self.map.insert(addr, victim.slot);
         out.evicted = prev;
         out.evicted_slot = prev.map(|_| victim.slot);
@@ -108,18 +119,14 @@ impl CacheArray for FullyAssocArray {
     }
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
-        let slot = self.map.remove(&addr)?;
-        self.tags[slot.idx()] = None;
+        let slot = self.map.remove(addr)?;
+        self.tags.clear_slot(slot.idx());
         self.free.push(slot);
         Some(slot)
     }
 
     fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
-        for (i, tag) in self.tags.iter().enumerate() {
-            if let Some(a) = tag {
-                f(SlotId(i as u32), *a);
-            }
-        }
+        self.tags.for_each_valid(f);
     }
 }
 

@@ -21,6 +21,7 @@ mod fully;
 mod random_cands;
 mod setassoc;
 mod skew;
+mod tags;
 mod walk;
 mod zarray;
 
@@ -28,9 +29,11 @@ pub use fully::FullyAssocArray;
 pub use random_cands::RandomCandsArray;
 pub use setassoc::SetAssocArray;
 pub use skew::SkewArray;
+pub use tags::{TagIndex, TagStore, INVALID_TAG};
 pub use walk::{replacement_candidates, WalkKind, WalkStats};
 pub use zarray::{WalkNodeInfo, ZArray};
 
+use crate::repl::ReplacementPolicy;
 use crate::types::{LineAddr, SlotId};
 use zhash::HashKind;
 
@@ -51,13 +54,33 @@ pub struct Candidate {
 ///
 /// Owned by the caller and cleared by [`CacheArray::candidates`], so the
 /// hot path performs no per-miss allocation after warm-up.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CandidateSet {
     items: Vec<Candidate>,
+    /// Scratch for batched scoring
+    /// ([`ReplacementPolicy::score_many`]); reused across misses.
+    scores: Vec<u64>,
+    /// Index of the first empty-frame candidate, tracked by [`push`]
+    /// (`u32::MAX` = none) so selection never rescans the set for one.
+    ///
+    /// [`push`]: CandidateSet::push
+    first_empty: u32,
     /// Walk levels used to produce this set (1 for non-walking arrays).
     pub levels: u32,
     /// Tag reads performed to produce this set (the paper's `R`).
     pub tag_reads: u32,
+}
+
+impl Default for CandidateSet {
+    fn default() -> Self {
+        Self {
+            items: Vec::new(),
+            scores: Vec::new(),
+            first_empty: u32::MAX,
+            levels: 0,
+            tag_reads: 0,
+        }
+    }
 }
 
 impl CandidateSet {
@@ -69,12 +92,17 @@ impl CandidateSet {
     /// Clears the buffer for reuse.
     pub fn clear(&mut self) {
         self.items.clear();
+        self.scores.clear();
+        self.first_empty = u32::MAX;
         self.levels = 0;
         self.tag_reads = 0;
     }
 
     /// Adds a candidate.
     pub fn push(&mut self, c: Candidate) {
+        if c.addr.is_none() && self.first_empty == u32::MAX {
+            self.first_empty = self.items.len() as u32;
+        }
         self.items.push(c);
     }
 
@@ -101,7 +129,33 @@ impl CandidateSet {
 
     /// First candidate whose frame is empty, if any.
     pub fn first_empty(&self) -> Option<&Candidate> {
-        self.items.iter().find(|c| c.addr.is_none())
+        self.items.get(self.first_empty as usize)
+    }
+
+    /// Selects the victim from this set with one batched
+    /// [`score_many`](ReplacementPolicy::score_many) call: the first
+    /// empty frame if any, otherwise the highest-scoring occupied
+    /// candidate (first wins ties) — the same choice as
+    /// [`select_victim`]. `None` only for an empty set.
+    pub fn select_with<P: ReplacementPolicy + ?Sized>(&mut self, policy: &P) -> Option<Candidate> {
+        // An empty frame (tracked at push time) wins before any scoring —
+        // `score` is pure, so not scoring cannot change policy state.
+        if let Some(c) = self.first_empty() {
+            return Some(*c);
+        }
+        // One dispatched call scores every candidate; the max scan then
+        // touches only the dense score vector, exactly as `select_victim`
+        // would choose (first wins ties).
+        self.scores.clear();
+        policy.score_many(&self.items, &mut self.scores);
+        let mut best: Option<(usize, u64)> = None;
+        for (i, &s) in self.scores.iter().enumerate() {
+            match best {
+                Some((_, bs)) if bs >= s => {}
+                _ => best = Some((i, s)),
+            }
+        }
+        best.map(|(i, _)| self.items[i])
     }
 }
 
@@ -168,6 +222,16 @@ pub trait CacheArray {
     /// Finds the frame holding `addr`, if resident.
     fn lookup(&self, addr: LineAddr) -> Option<SlotId>;
 
+    /// [`lookup`](Self::lookup) on the access path, where the caller
+    /// holds `&mut self`. Semantically identical; arrays may use the
+    /// mutable access to memoize probe work a subsequent
+    /// [`candidates`](Self::candidates) call for the same address would
+    /// otherwise repeat ([`ZArray`] stashes the hashed row vector, which
+    /// depends only on the address and the fixed hash family).
+    fn lookup_mut(&mut self, addr: LineAddr) -> Option<SlotId> {
+        self.lookup(addr)
+    }
+
     /// The block resident in `slot`, if any.
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr>;
 
@@ -176,6 +240,36 @@ pub trait CacheArray {
     /// `&mut self` allows arrays to advance internal PRNG state or cache
     /// the walk tree for the subsequent [`install`](Self::install).
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet);
+
+    /// Gathers replacement candidates for `addr` into `out` *and*
+    /// selects the victim, in one pass where the array supports it.
+    ///
+    /// Semantics are pinned to the unfused sequence — `candidates`,
+    /// [`before_select`](ReplacementPolicy::before_select), then
+    /// [`select_victim`] — and implementations must produce the exact
+    /// same candidate set in `out` and the exact same victim. [`ZArray`]
+    /// overrides this to consult [`score`](ReplacementPolicy::score)
+    /// as the walk produces candidates (skipping the rescan) whenever
+    /// the policy has no mutating select-time prepass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array produced an empty candidate set (arrays never
+    /// do).
+    fn candidates_select<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        policy: &mut P,
+        out: &mut CandidateSet,
+    ) -> Candidate
+    where
+        Self: Sized,
+    {
+        self.candidates(addr, out);
+        policy.before_select(out.as_slice());
+        out.select_with(policy)
+            .expect("candidate sets are never empty")
+    }
 
     /// Installs `addr`, vacating `victim` (a candidate returned by the
     /// immediately preceding `candidates` call for the same address).
@@ -283,27 +377,48 @@ macro_rules! delegate {
 }
 
 impl CacheArray for AnyArray {
+    #[inline]
     fn lines(&self) -> u64 {
         delegate!(self, a => a.lines())
     }
+    #[inline]
     fn ways(&self) -> u32 {
         delegate!(self, a => a.ways())
     }
+    #[inline]
     fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
         delegate!(self, a => a.lookup(addr))
     }
+    #[inline]
+    fn lookup_mut(&mut self, addr: LineAddr) -> Option<SlotId> {
+        delegate!(self, a => a.lookup_mut(addr))
+    }
+    #[inline]
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
         delegate!(self, a => a.addr_at(slot))
     }
+    #[inline]
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
         delegate!(self, a => a.candidates(addr, out))
     }
+    #[inline]
+    fn candidates_select<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        policy: &mut P,
+        out: &mut CandidateSet,
+    ) -> Candidate {
+        delegate!(self, a => a.candidates_select(addr, policy, out))
+    }
+    #[inline]
     fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
         delegate!(self, a => a.install(addr, victim, out))
     }
+    #[inline]
     fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
         delegate!(self, a => a.invalidate(addr))
     }
+    #[inline]
     fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
         delegate!(self, a => a.for_each_valid(f))
     }

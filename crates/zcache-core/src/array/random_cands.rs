@@ -1,8 +1,8 @@
 //! The random-candidates reference cache of §IV-B.
 
+use super::tags::{TagIndex, TagStore};
 use super::{CacheArray, Candidate, CandidateSet, InstallOutcome};
 use crate::types::{LineAddr, SlotId};
-use std::collections::HashMap;
 use zhash::SplitMix64;
 
 /// A cache array that returns `n` uniformly random replacement candidates
@@ -25,8 +25,8 @@ use zhash::SplitMix64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RandomCandsArray {
-    tags: Vec<Option<LineAddr>>,
-    map: HashMap<LineAddr, SlotId>,
+    tags: TagStore,
+    map: TagIndex,
     free: Vec<SlotId>,
     n: u32,
     rng: SplitMix64,
@@ -44,8 +44,10 @@ impl RandomCandsArray {
         assert!(lines <= u64::from(u32::MAX), "lines must fit in u32");
         assert!(n > 0, "need at least one candidate");
         Self {
-            tags: vec![None; lines as usize],
-            map: HashMap::with_capacity(lines as usize),
+            tags: TagStore::new(lines as usize),
+            // Seeded index: lookups must not depend on process-random
+            // hasher state (determinism across identically-seeded runs).
+            map: TagIndex::with_capacity(lines as usize, seed ^ 0x7a6_1dde),
             free: (0..lines as u32).rev().map(SlotId).collect(),
             n,
             rng: SplitMix64::new(seed ^ 0xc0ffee),
@@ -69,11 +71,11 @@ impl CacheArray for RandomCandsArray {
     }
 
     fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
-        self.map.get(&addr).copied()
+        self.map.get(addr)
     }
 
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
-        self.tags[slot.idx()]
+        self.tags.get(slot.idx())
     }
 
     fn candidates(&mut self, _addr: LineAddr, out: &mut CandidateSet) {
@@ -92,7 +94,7 @@ impl CacheArray for RandomCandsArray {
             let slot = SlotId(self.rng.next_below(self.tags.len() as u64) as u32);
             out.push(Candidate {
                 slot,
-                addr: self.tags[slot.idx()],
+                addr: self.tags.get(slot.idx()),
                 token: i,
             });
         }
@@ -101,14 +103,17 @@ impl CacheArray for RandomCandsArray {
 
     fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
         out.clear();
-        let prev = self.tags[victim.slot.idx()];
+        let prev = self.tags.get(victim.slot.idx());
         debug_assert_eq!(prev, victim.addr, "stale candidate");
         if let Some(p) = prev {
-            self.map.remove(&p);
+            self.map.remove(p);
+        } else if self.free.last() == Some(&victim.slot) {
+            // Candidates only ever offer the top of the free list.
+            self.free.pop();
         } else {
             self.free.retain(|&s| s != victim.slot);
         }
-        self.tags[victim.slot.idx()] = Some(addr);
+        self.tags.set(victim.slot.idx(), addr);
         self.map.insert(addr, victim.slot);
         out.evicted = prev;
         out.evicted_slot = prev.map(|_| victim.slot);
@@ -116,18 +121,14 @@ impl CacheArray for RandomCandsArray {
     }
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
-        let slot = self.map.remove(&addr)?;
-        self.tags[slot.idx()] = None;
+        let slot = self.map.remove(addr)?;
+        self.tags.clear_slot(slot.idx());
         self.free.push(slot);
         Some(slot)
     }
 
     fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
-        for (i, tag) in self.tags.iter().enumerate() {
-            if let Some(a) = tag {
-                f(SlotId(i as u32), *a);
-            }
-        }
+        self.tags.for_each_valid(f);
     }
 }
 

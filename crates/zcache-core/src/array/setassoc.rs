@@ -1,5 +1,6 @@
 //! Conventional set-associative array, with optional index hashing.
 
+use super::tags::TagStore;
 use super::{CacheArray, Candidate, CandidateSet, InstallOutcome};
 use crate::types::{LineAddr, SlotId};
 use zhash::{AnyHasher, HashKind, Hasher64};
@@ -32,8 +33,8 @@ pub struct SetAssocArray {
     sets: u64,
     set_bits: u32,
     hasher: AnyHasher,
-    /// `tags[set * ways + way]`.
-    tags: Vec<Option<LineAddr>>,
+    /// `tags[set * ways + way]`, sentinel-encoded.
+    tags: TagStore,
 }
 
 impl SetAssocArray {
@@ -60,7 +61,7 @@ impl SetAssocArray {
             sets,
             set_bits: sets.trailing_zeros(),
             hasher: hash.build(seed),
-            tags: vec![None; lines as usize],
+            tags: TagStore::new(lines as usize),
         }
     }
 
@@ -98,7 +99,8 @@ impl CacheArray for SetAssocArray {
         let set = self.set_of(addr);
         for way in 0..self.ways {
             let slot = self.slot(set, way);
-            if self.tags[slot.idx()] == Some(addr) {
+            // Sentinel encoding makes this a single u64 compare per way.
+            if self.tags.raw(slot.idx()) == addr {
                 return Some(slot);
             }
         }
@@ -106,7 +108,7 @@ impl CacheArray for SetAssocArray {
     }
 
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
-        self.tags[slot.idx()]
+        self.tags.get(slot.idx())
     }
 
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
@@ -116,7 +118,7 @@ impl CacheArray for SetAssocArray {
             let slot = self.slot(set, way);
             out.push(Candidate {
                 slot,
-                addr: self.tags[slot.idx()],
+                addr: self.tags.get(slot.idx()),
                 token: way,
             });
         }
@@ -131,9 +133,9 @@ impl CacheArray for SetAssocArray {
             victim.slot.0 as u64 / u64::from(self.ways),
             "victim must belong to the set addr maps to"
         );
-        let prev = self.tags[victim.slot.idx()];
+        let prev = self.tags.get(victim.slot.idx());
         debug_assert_eq!(prev, victim.addr, "stale candidate");
-        self.tags[victim.slot.idx()] = Some(addr);
+        self.tags.set(victim.slot.idx(), addr);
         out.evicted = prev;
         out.evicted_slot = prev.map(|_| victim.slot);
         out.filled_slot = victim.slot;
@@ -141,16 +143,12 @@ impl CacheArray for SetAssocArray {
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
         let slot = self.lookup(addr)?;
-        self.tags[slot.idx()] = None;
+        self.tags.clear_slot(slot.idx());
         Some(slot)
     }
 
     fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
-        for (i, tag) in self.tags.iter().enumerate() {
-            if let Some(a) = tag {
-                f(SlotId(i as u32), *a);
-            }
-        }
+        self.tags.for_each_valid(f);
     }
 }
 

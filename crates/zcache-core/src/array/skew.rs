@@ -74,6 +74,9 @@ impl CacheArray for SkewArray {
     fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
         self.inner.lookup(addr)
     }
+    fn lookup_mut(&mut self, addr: LineAddr) -> Option<SlotId> {
+        self.inner.lookup_mut(addr)
+    }
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
         self.inner.addr_at(slot)
     }

@@ -1,0 +1,370 @@
+//! Sentinel-tag storage and a deterministic open-addressing tag index.
+//!
+//! Every array keeps its tags in a [`TagStore`]: a flat `Vec<u64>` where
+//! [`INVALID_TAG`] marks an empty frame. Compared to the obvious
+//! `Vec<Option<LineAddr>>` this halves the bytes per frame (8 instead of
+//! 16), so walks and lookups touch half the cache lines, and tag
+//! comparisons compile to a single `u64` compare.
+//!
+//! The associative designs ([`FullyAssocArray`], [`RandomCandsArray`])
+//! additionally need an address→slot map. [`TagIndex`] replaces
+//! `std::collections::HashMap` there: a seeded [`Mix64`]-hashed
+//! open-addressing table with linear probing and backward-shift deletion.
+//! Besides being faster than SipHash for 64-bit keys, it is *fully
+//! deterministic* — `HashMap`'s `RandomState` draws a fresh seed per
+//! process, which is exactly the kind of latent nondeterminism the
+//! differential-conformance harness exists to rule out.
+//!
+//! [`FullyAssocArray`]: super::FullyAssocArray
+//! [`RandomCandsArray`]: super::RandomCandsArray
+
+use crate::types::{LineAddr, SlotId};
+use zhash::{Hasher64, Mix64};
+
+/// Reserved tag value marking an empty frame.
+///
+/// `u64::MAX` is not a usable line address: with 64-byte lines it would
+/// correspond to a byte address beyond the 64-bit physical address
+/// space. Installs assert against it.
+pub const INVALID_TAG: u64 = u64::MAX;
+
+/// Flat structure-of-arrays tag storage with a sentinel for empty frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagStore {
+    tags: Vec<u64>,
+}
+
+impl TagStore {
+    /// Creates a store of `lines` empty frames.
+    pub fn new(lines: usize) -> Self {
+        Self {
+            tags: vec![INVALID_TAG; lines],
+        }
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the store has no frames.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The raw tag word of frame `idx` ([`INVALID_TAG`] when empty).
+    ///
+    /// Lookups compare this directly against the probed address — one
+    /// branch, no `Option` re-wrapping.
+    #[inline(always)]
+    pub fn raw(&self, idx: usize) -> u64 {
+        self.tags[idx]
+    }
+
+    /// The block resident in frame `idx`, if any.
+    #[inline(always)]
+    pub fn get(&self, idx: usize) -> Option<LineAddr> {
+        let t = self.tags[idx];
+        if t == INVALID_TAG {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Writes `addr` into frame `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is the reserved [`INVALID_TAG`] value.
+    #[inline]
+    pub fn set(&mut self, idx: usize, addr: LineAddr) {
+        assert_ne!(addr, INVALID_TAG, "INVALID_TAG is a reserved line address");
+        self.tags[idx] = addr;
+    }
+
+    /// Writes an optional block into frame `idx` (relocation helper).
+    #[inline]
+    pub fn set_opt(&mut self, idx: usize, addr: Option<LineAddr>) {
+        match addr {
+            Some(a) => self.set(idx, a),
+            None => self.tags[idx] = INVALID_TAG,
+        }
+    }
+
+    /// Empties frame `idx`.
+    #[inline]
+    pub fn clear_slot(&mut self, idx: usize) {
+        self.tags[idx] = INVALID_TAG;
+    }
+
+    /// Calls `f` for every occupied frame, in ascending slot order.
+    pub fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
+        for (i, &t) in self.tags.iter().enumerate() {
+            if t != INVALID_TAG {
+                f(SlotId(i as u32), t);
+            }
+        }
+    }
+}
+
+/// A seeded open-addressing address→slot map (linear probing,
+/// backward-shift deletion, power-of-two capacity, load factor ≤ 0.5).
+///
+/// Capacity is fixed at construction — the map holds at most one entry
+/// per cache frame, so it is sized once for `lines` entries and never
+/// rehashes.
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    hasher: Mix64,
+    mask: usize,
+    /// Probe keys; [`INVALID_TAG`] marks a free bucket.
+    keys: Vec<u64>,
+    /// Slot payloads, parallel to `keys`.
+    vals: Vec<u32>,
+    len: usize,
+}
+
+impl TagIndex {
+    /// Creates an index able to hold `lines` entries at ≤ 0.5 load.
+    pub fn with_capacity(lines: usize, seed: u64) -> Self {
+        let cap = (lines.max(1) * 2).next_power_of_two();
+        Self {
+            hasher: Mix64::new(seed),
+            mask: cap - 1,
+            keys: vec![INVALID_TAG; cap],
+            vals: vec![0; cap],
+            len: 0,
+        }
+    }
+
+    /// Entries currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn start(&self, addr: LineAddr) -> usize {
+        self.hasher.hash(addr) as usize & self.mask
+    }
+
+    /// The slot holding `addr`, if present.
+    #[inline]
+    pub fn get(&self, addr: LineAddr) -> Option<SlotId> {
+        let mut i = self.start(addr);
+        loop {
+            let k = self.keys[i];
+            if k == addr {
+                return Some(SlotId(self.vals[i]));
+            }
+            if k == INVALID_TAG {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or updates the mapping `addr → slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is [`INVALID_TAG`] or the table is full (more
+    /// entries than the construction-time `lines`).
+    pub fn insert(&mut self, addr: LineAddr, slot: SlotId) {
+        assert_ne!(addr, INVALID_TAG, "INVALID_TAG is a reserved line address");
+        let mut i = self.start(addr);
+        loop {
+            let k = self.keys[i];
+            if k == addr {
+                self.vals[i] = slot.0;
+                return;
+            }
+            if k == INVALID_TAG {
+                assert!(self.len <= self.mask / 2, "tag index over capacity");
+                self.keys[i] = addr;
+                self.vals[i] = slot.0;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `addr`, returning its slot if it was present.
+    ///
+    /// Uses backward-shift deletion instead of tombstones, so probe
+    /// chains never grow with churn and behavior stays a pure function
+    /// of the current contents.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<SlotId> {
+        let mut hole = self.start(addr);
+        loop {
+            let k = self.keys[hole];
+            if k == addr {
+                break;
+            }
+            if k == INVALID_TAG {
+                return None;
+            }
+            hole = (hole + 1) & self.mask;
+        }
+        let removed = self.vals[hole];
+
+        // Shift any displaced entries back toward their home bucket so
+        // the invariant "every entry is reachable from its home without
+        // crossing a free bucket" is restored.
+        let mut cur = (hole + 1) & self.mask;
+        while self.keys[cur] != INVALID_TAG {
+            let home = self.start(self.keys[cur]);
+            // `cur`'s entry may fill the hole iff its home bucket is not
+            // cyclically inside (hole, cur] — otherwise moving it would
+            // place it before its own probe start.
+            if (cur.wrapping_sub(home) & self.mask) >= (cur.wrapping_sub(hole) & self.mask) {
+                self.keys[hole] = self.keys[cur];
+                self.vals[hole] = self.vals[cur];
+                hole = cur;
+            }
+            cur = (cur + 1) & self.mask;
+        }
+        self.keys[hole] = INVALID_TAG;
+        self.len -= 1;
+        Some(SlotId(removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip_and_sentinel() {
+        let mut s = TagStore::new(4);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.raw(0), INVALID_TAG);
+        s.set(0, 42);
+        assert_eq!(s.get(0), Some(42));
+        assert_eq!(s.raw(0), 42);
+        s.set_opt(1, Some(7));
+        s.set_opt(2, None);
+        assert_eq!(s.get(1), Some(7));
+        assert_eq!(s.get(2), None);
+        s.clear_slot(0);
+        assert_eq!(s.get(0), None);
+    }
+
+    #[test]
+    fn store_for_each_valid_in_slot_order() {
+        let mut s = TagStore::new(8);
+        s.set(5, 50);
+        s.set(1, 10);
+        s.set(7, 70);
+        let mut seen = Vec::new();
+        s.for_each_valid(&mut |slot, a| seen.push((slot.0, a)));
+        assert_eq!(seen, vec![(1, 10), (5, 50), (7, 70)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved line address")]
+    fn store_rejects_sentinel_as_address() {
+        TagStore::new(1).set(0, INVALID_TAG);
+    }
+
+    #[test]
+    fn index_insert_get_remove() {
+        let mut idx = TagIndex::with_capacity(16, 1);
+        assert!(idx.is_empty());
+        for a in 0..16u64 {
+            idx.insert(a * 1000, SlotId(a as u32));
+        }
+        assert_eq!(idx.len(), 16);
+        for a in 0..16u64 {
+            assert_eq!(idx.get(a * 1000), Some(SlotId(a as u32)));
+        }
+        assert_eq!(idx.get(999), None);
+        assert_eq!(idx.remove(5000), Some(SlotId(5)));
+        assert_eq!(idx.remove(5000), None);
+        assert_eq!(idx.get(5000), None);
+        assert_eq!(idx.len(), 15);
+        // Every other entry survives the backward shift.
+        for a in 0..16u64 {
+            if a != 5 {
+                assert_eq!(idx.get(a * 1000), Some(SlotId(a as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn index_update_in_place() {
+        let mut idx = TagIndex::with_capacity(4, 2);
+        idx.insert(9, SlotId(1));
+        idx.insert(9, SlotId(3));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(9), Some(SlotId(3)));
+    }
+
+    #[test]
+    fn index_survives_heavy_churn() {
+        // Backward-shift deletion is the easiest thing to get wrong;
+        // hammer it against a model map.
+        let mut idx = TagIndex::with_capacity(64, 3);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            // xorshift64 for address variety, folded to a small universe
+            // so collisions and re-insertions are common.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % 200;
+            if step % 3 == 0 && model.contains_key(&addr) {
+                assert_eq!(idx.remove(addr), model.remove(&addr).map(SlotId));
+            } else if model.len() < 64 {
+                let slot = (step % 64) as u32;
+                idx.insert(addr, SlotId(slot));
+                model.insert(addr, slot);
+            }
+            if step % 97 == 0 {
+                for (&a, &s) in &model {
+                    assert_eq!(idx.get(a), Some(SlotId(s)), "step {step} addr {a}");
+                }
+                assert_eq!(idx.len(), model.len());
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_seed_deterministic() {
+        // Same contents + same seed ⇒ identical internal layout, so the
+        // map contributes no process-dependent behavior anywhere.
+        let build = |seed| {
+            let mut idx = TagIndex::with_capacity(32, seed);
+            for a in 0..32u64 {
+                idx.insert(a * 31 + 7, SlotId(a as u32));
+            }
+            idx.remove(7);
+            idx.remove(31 * 5 + 7);
+            (idx.keys.clone(), idx.vals.clone())
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9).0, build(10).0, "seed must permute the layout");
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn index_rejects_overfill() {
+        let mut idx = TagIndex::with_capacity(2, 1);
+        for a in 0..10u64 {
+            idx.insert(a + 1, SlotId(a as u32));
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! candidates at rows `h_{w'}(B)` for every other way `w'`. The walk tree
 //! for a victim at level `d` implies `d` relocations along its path.
 
+use super::tags::INVALID_TAG;
 use crate::types::{LineAddr, SlotId};
 
 /// Walk expansion order.
@@ -75,18 +76,30 @@ pub fn replacement_candidates(ways: u32, levels: u32) -> u64 {
 }
 
 /// A node of the walk tree.
+///
+/// `addr` uses the [`INVALID_TAG`] sentinel instead of `Option` so a node
+/// is 24 bytes, not 32 — the walk table is the hottest write path of a
+/// miss.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct WalkNode {
+    /// Block resident in `slot` ([`INVALID_TAG`] = empty frame).
+    pub addr: u64,
     /// Frame this candidate occupies.
     pub slot: SlotId,
-    /// Block resident there (`None` = empty frame).
-    pub addr: Option<LineAddr>,
     /// Index of the parent node, or `u32::MAX` for level-0 roots.
     pub parent: u32,
     /// Way of `slot`.
     pub way: u8,
     /// Tree level (0 = first-level candidate).
     pub level: u8,
+}
+
+impl WalkNode {
+    /// The resident block as an `Option` (the external representation).
+    #[inline(always)]
+    pub fn addr_opt(&self) -> Option<LineAddr> {
+        (self.addr != INVALID_TAG).then_some(self.addr)
+    }
 }
 
 pub(crate) const NO_PARENT: u32 = u32::MAX;
@@ -195,21 +208,21 @@ mod tests {
         t.clear(99);
         t.nodes.push(WalkNode {
             slot: SlotId(0),
-            addr: Some(1),
+            addr: 1,
             parent: NO_PARENT,
             way: 0,
             level: 0,
         });
         t.nodes.push(WalkNode {
             slot: SlotId(5),
-            addr: Some(2),
+            addr: 2,
             parent: 0,
             way: 1,
             level: 1,
         });
         t.nodes.push(WalkNode {
             slot: SlotId(9),
-            addr: Some(3),
+            addr: 3,
             parent: 1,
             way: 2,
             level: 2,

@@ -1,5 +1,6 @@
 //! The zcache tag array (§III of the paper).
 
+use super::tags::INVALID_TAG;
 use super::walk::{WalkKind, WalkNode, WalkTable, NO_PARENT};
 use super::{CacheArray, Candidate, CandidateSet, InstallOutcome};
 use crate::types::{LineAddr, Location, SlotId};
@@ -39,11 +40,51 @@ pub struct ZArray {
     max_candidates: u32,
     walk_kind: WalkKind,
     hashers: Vec<AnyHasher>,
-    /// `tags[way * rows + row]`.
-    tags: Vec<Option<LineAddr>>,
+    /// `frames[way * rows + row]`: one record per frame.
+    frames: Vec<Frame>,
+    /// Probe memo `(addr, per-way rows)` stashed by
+    /// [`lookup_mut`](CacheArray::lookup_mut): on a miss, `walk_core`
+    /// reuses the rows the lookup just hashed instead of rehashing.
+    /// Rows are a pure function of the address and the fixed hash
+    /// family, so the memo can never go stale; it is only ever *read*
+    /// when the stashed address matches. 4-way only (`FRAME_WAYS`).
+    probe: (LineAddr, [u32; FRAME_WAYS]),
+    /// Fused byte-sliced H3 tables: `fused[b][v]` holds the per-way hash
+    /// contributions of byte value `v` at byte position `b`, interleaved
+    /// so one pass over the address bytes yields all four ways' hashes
+    /// from shared cache lines (the per-way tables would cost four
+    /// separate scans). Built from the public [`Hasher64::hash`], so the
+    /// values are identical to the per-way path by GF(2) linearity.
+    /// `None` unless `ways == 4` with H3 hashing.
+    fused: Option<Box<[[[u64; FRAME_WAYS]; 256]; 8]>>,
     walk: WalkTable,
     bloom: Option<BloomFilter>,
 }
+
+/// Ways whose rows are cached inline in [`Frame`]; wider configurations
+/// fall back to hashing during the walk.
+const FRAME_WAYS: usize = 4;
+
+/// One tag-array frame: the resident block's sentinel-encoded tag
+/// interleaved with its cached per-way row vector (maintained by
+/// `install`). §III-A performs W−1 hash evaluations per walk expansion;
+/// caching the row vector *next to the tag* turns those into reads of a
+/// cache line the walk has already touched — expanding a node costs one
+/// random line (the child's tag) instead of two (tag here, row vector in
+/// a separate array). `u16` rows keep the record at 16 bytes (four per
+/// cache line); arrays with more than `2^16` rows per way skip the cache
+/// (see [`ZArray::rows_cacheable`]). Rows of empty frames are stale and
+/// never read.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    tag: u64,
+    rows: [u16; FRAME_WAYS],
+}
+
+const EMPTY_FRAME: Frame = Frame {
+    tag: INVALID_TAG,
+    rows: [0; FRAME_WAYS],
+};
 
 /// Public view of one walk-tree node (see [`ZArray::walk_node`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +97,24 @@ pub struct WalkNodeInfo {
     pub level: u32,
     /// Parent node token (`None` for level-0 roots).
     pub parent: Option<u32>,
+}
+
+/// Interleaves the four ways' byte-sliced evaluation tables. A single
+/// byte at position `b` contributes `hash((v as u64) << (8 * b))` to each
+/// way's hash, and H3 is linear over GF(2), so XORing these entries per
+/// input byte reproduces every way's full hash exactly.
+fn build_fused(hashers: &[AnyHasher]) -> Box<[[[u64; FRAME_WAYS]; 256]; 8]> {
+    let mut t = vec![[[0u64; FRAME_WAYS]; 256]; 8];
+    for (b, table) in t.iter_mut().enumerate() {
+        for (v, entry) in table.iter_mut().enumerate() {
+            for (w, h) in hashers.iter().enumerate().take(FRAME_WAYS) {
+                entry[w] = h.hash((v as u64) << (8 * b));
+            }
+        }
+    }
+    let boxed: Box<[[[u64; FRAME_WAYS]; 256]; 8]> =
+        t.into_boxed_slice().try_into().expect("exactly 8 tables");
+    boxed
 }
 
 impl ZArray {
@@ -97,9 +156,10 @@ impl ZArray {
             rows.is_power_of_two(),
             "rows per way ({rows}) must be a power of two"
         );
-        let hashers = (0..ways)
+        let hashers: Vec<AnyHasher> = (0..ways)
             .map(|w| hash.build(seed.wrapping_mul(0x1000).wrapping_add(u64::from(w))))
             .collect();
+        let fused = (ways == 4 && hash == HashKind::H3).then(|| build_fused(&hashers));
         // Pre-size the walk table to the full R = W·Σ(W−1)^l bound
         // (capped for degenerate configurations) so steady-state walks
         // never grow it.
@@ -114,7 +174,9 @@ impl ZArray {
             max_candidates: u32::MAX,
             walk_kind: WalkKind::Bfs,
             hashers,
-            tags: vec![None; lines as usize],
+            frames: vec![EMPTY_FRAME; lines as usize],
+            probe: (INVALID_TAG, [0; FRAME_WAYS]),
+            fused,
             walk,
             bloom: None,
         }
@@ -179,6 +241,31 @@ impl ZArray {
         self.hashers[way as usize].index(addr, self.row_bits)
     }
 
+    /// All four ways' rows in one pass over the address bytes, via the
+    /// fused tables; `None` for non-H3 or non-4-way configurations.
+    #[inline]
+    fn rows4(&self, addr: LineAddr) -> Option<[u64; FRAME_WAYS]> {
+        let t = self.fused.as_deref()?;
+        let mask = self.rows - 1;
+        let mut acc = [0u64; FRAME_WAYS];
+        let mut x = addr;
+        let mut byte = 0usize;
+        while x != 0 {
+            let e = &t[byte][(x & 0xff) as usize];
+            acc[0] ^= e[0];
+            acc[1] ^= e[1];
+            acc[2] ^= e[2];
+            acc[3] ^= e[3];
+            x >>= 8;
+            byte += 1;
+        }
+        for (w, a) in acc.iter_mut().enumerate() {
+            *a &= mask;
+            debug_assert_eq!(*a, self.row_of(addr, w as u32), "fused H3 mismatch");
+        }
+        Some(acc)
+    }
+
     /// Statistics of the most recent walk.
     pub fn last_walk_stats(&self) -> super::walk::WalkStats {
         self.walk.stats
@@ -190,7 +277,7 @@ impl ZArray {
         let node = self.walk.nodes.get(token as usize)?;
         Some(WalkNodeInfo {
             location: self.location(node.slot),
-            addr: node.addr,
+            addr: node.addr_opt(),
             level: u32::from(node.level),
             parent: (node.parent != super::walk::NO_PARENT).then_some(node.parent),
         })
@@ -201,15 +288,28 @@ impl ZArray {
         SlotId((u64::from(way) * self.rows + row) as u32)
     }
 
+    /// Whether per-way rows fit the 16-bit cache in [`Frame`].
+    #[inline]
+    fn rows_cacheable(&self) -> bool {
+        self.row_bits <= u16::BITS
+    }
+
     /// Expands `node_idx`, pushing children onto the walk table and
     /// mirroring them into `out`. Returns `true` if an empty frame was
     /// found (callers stop the walk: a free frame is a perfect victim).
     fn expand(&mut self, node_idx: u32, out: &mut CandidateSet) -> bool {
         let node = self.walk.nodes[node_idx as usize];
-        let Some(baddr) = node.addr else {
+        let baddr = node.addr;
+        if baddr == INVALID_TAG {
             return false; // empty frames have no block to rehash
-        };
+        }
         let mut found_empty = false;
+        let mut pushed = 0u32;
+        // The resident block's row vector was cached next to its tag at
+        // install time; the line is warm from the tag read that created
+        // this node, so the W−1 rehashes of §III-A cost nothing here.
+        let rows_cacheable = self.rows_cacheable();
+        let cached_rows = self.frames[node.slot.idx()].rows;
         for way in 0..self.ways {
             if way == u32::from(node.way) {
                 continue; // the matching hash: this is where the block already is
@@ -217,67 +317,80 @@ impl ZArray {
             if self.walk.nodes.len() as u32 >= self.max_candidates {
                 break;
             }
-            let row = self.row_of(baddr, way);
+            let row = if rows_cacheable && (way as usize) < FRAME_WAYS {
+                u64::from(cached_rows[way as usize])
+            } else {
+                self.row_of(baddr, way)
+            };
+            debug_assert_eq!(row, self.row_of(baddr, way), "stale block row");
             let slot = self.slot(way, row);
             // A slot already on this path would make the relocation chain
             // touch the same frame twice; skip it (repeats across sibling
-            // branches remain allowed, as in the paper).
-            if self.walk.slot_on_path(node_idx, slot) {
+            // branches remain allowed, as in the paper). Inline ancestor
+            // scan: paths are at most `levels` deep.
+            let on_path = {
+                let mut i = node_idx;
+                loop {
+                    let n = &self.walk.nodes[i as usize];
+                    if n.slot == slot {
+                        break true;
+                    }
+                    if n.parent == NO_PARENT {
+                        break false;
+                    }
+                    i = n.parent;
+                }
+            };
+            debug_assert_eq!(
+                on_path,
+                self.walk.slot_on_path(node_idx, slot),
+                "inline path scan must agree with the reference"
+            );
+            if on_path {
                 self.walk.stats.path_dups_skipped += 1;
                 continue;
             }
-            let addr = self.tags[slot.idx()];
-            if let (Some(b), Some(a)) = (self.bloom.as_mut(), addr) {
-                if b.test_and_insert(a) {
-                    self.walk.stats.bloom_skipped += 1;
-                    continue;
+            let addr = self.frames[slot.idx()].tag;
+            if addr != INVALID_TAG {
+                if let Some(b) = self.bloom.as_mut() {
+                    if b.test_and_insert(addr) {
+                        self.walk.stats.bloom_skipped += 1;
+                        continue;
+                    }
                 }
             }
             let child = WalkNode {
-                slot,
                 addr,
+                slot,
                 parent: node_idx,
                 way: way as u8,
                 level: node.level + 1,
             };
             let token = self.walk.nodes.len() as u32;
             self.walk.nodes.push(child);
-            self.walk.stats.tag_reads += 1;
-            self.walk.stats.levels = self.walk.stats.levels.max(u32::from(child.level) + 1);
-            out.push(Candidate { slot, addr, token });
-            if addr.is_none() {
+            pushed += 1;
+            out.push(Candidate {
+                slot,
+                addr: (addr != INVALID_TAG).then_some(addr),
+                token,
+            });
+            if addr == INVALID_TAG {
                 found_empty = true;
                 break;
             }
         }
+        if pushed > 0 {
+            // All children sit one level below the parent; fold the stats
+            // once per expansion instead of once per child.
+            self.walk.stats.tag_reads += pushed;
+            let child_level = u32::from(node.level) + 1;
+            self.walk.stats.levels = self.walk.stats.levels.max(child_level + 1);
+        }
         found_empty
     }
-}
 
-impl CacheArray for ZArray {
-    fn lines(&self) -> u64 {
-        self.tags.len() as u64
-    }
-
-    fn ways(&self) -> u32 {
-        self.ways
-    }
-
-    fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
-        for way in 0..self.ways {
-            let slot = self.slot(way, self.row_of(addr, way));
-            if self.tags[slot.idx()] == Some(addr) {
-                return Some(slot);
-            }
-        }
-        None
-    }
-
-    fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
-        self.tags[slot.idx()]
-    }
-
-    fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
+    /// The replacement walk behind [`CacheArray::candidates`].
+    fn walk_core(&mut self, addr: LineAddr, out: &mut CandidateSet) {
         out.clear();
         // Match the walk table's pre-sizing so a caller-provided set
         // reaches steady state after its first walk.
@@ -287,15 +400,23 @@ impl CacheArray for ZArray {
             b.clear();
         }
 
-        // Level 0: the W first-level candidates (also what a lookup reads).
+        // Level 0: the W first-level candidates (also what a lookup
+        // reads — and, on the access path, the rows the preceding
+        // `lookup_mut` already hashed and stashed).
+        let probed = (self.ways == 4 && self.probe.0 == addr).then_some(self.probe.1);
         let mut found_empty = false;
         for way in 0..self.ways {
-            let slot = self.slot(way, self.row_of(addr, way));
-            let a = self.tags[slot.idx()];
+            let row = match probed {
+                Some(rows) => u64::from(rows[way as usize]),
+                None => self.row_of(addr, way),
+            };
+            debug_assert_eq!(row, self.row_of(addr, way), "stale probe memo");
+            let slot = self.slot(way, row);
+            let a = self.frames[slot.idx()].tag;
             let token = self.walk.nodes.len() as u32;
             self.walk.nodes.push(WalkNode {
-                slot,
                 addr: a,
+                slot,
                 parent: NO_PARENT,
                 way: way as u8,
                 level: 0,
@@ -303,14 +424,13 @@ impl CacheArray for ZArray {
             self.walk.stats.tag_reads += 1;
             out.push(Candidate {
                 slot,
-                addr: a,
+                addr: (a != INVALID_TAG).then_some(a),
                 token,
             });
-            if let (Some(b), Some(a)) = (self.bloom.as_mut(), a) {
-                b.insert(a);
-            }
-            if a.is_none() {
+            if a == INVALID_TAG {
                 found_empty = true;
+            } else if let Some(b) = self.bloom.as_mut() {
+                b.insert(a);
             }
         }
         self.walk.stats.levels = 1;
@@ -376,6 +496,106 @@ impl CacheArray for ZArray {
         out.levels = self.walk.stats.levels;
         out.tag_reads = self.walk.stats.tag_reads;
     }
+}
+
+impl CacheArray for ZArray {
+    fn lines(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn lookup(&self, addr: LineAddr) -> Option<SlotId> {
+        // Sentinel encoding makes each probe a single u64 compare. The
+        // common 4-way shape is unrolled so the four tag loads issue
+        // together (independent rows → memory-level parallelism) instead
+        // of serializing behind the early-return of the generic loop.
+        if self.ways == 4 {
+            let [r0, r1, r2, r3] = match self.rows4(addr) {
+                Some(rows) => rows,
+                None => [
+                    self.row_of(addr, 0),
+                    self.row_of(addr, 1),
+                    self.row_of(addr, 2),
+                    self.row_of(addr, 3),
+                ],
+            };
+            let s0 = self.slot(0, r0);
+            let s1 = self.slot(1, r1);
+            let s2 = self.slot(2, r2);
+            let s3 = self.slot(3, r3);
+            let t0 = self.frames[s0.idx()].tag;
+            let t1 = self.frames[s1.idx()].tag;
+            let t2 = self.frames[s2.idx()].tag;
+            let t3 = self.frames[s3.idx()].tag;
+            if t0 == addr {
+                return Some(s0);
+            }
+            if t1 == addr {
+                return Some(s1);
+            }
+            if t2 == addr {
+                return Some(s2);
+            }
+            if t3 == addr {
+                return Some(s3);
+            }
+            return None;
+        }
+        for way in 0..self.ways {
+            let slot = self.slot(way, self.row_of(addr, way));
+            if self.frames[slot.idx()].tag == addr {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    fn lookup_mut(&mut self, addr: LineAddr) -> Option<SlotId> {
+        if self.ways == 4 && addr != INVALID_TAG {
+            let [r0, r1, r2, r3] = match self.rows4(addr) {
+                Some(rows) => rows.map(|r| r as u32),
+                None => [
+                    self.row_of(addr, 0) as u32,
+                    self.row_of(addr, 1) as u32,
+                    self.row_of(addr, 2) as u32,
+                    self.row_of(addr, 3) as u32,
+                ],
+            };
+            // On a miss the caller walks this same address next; hand the
+            // freshly hashed rows over so level 0 skips the rehash.
+            self.probe = (addr, [r0, r1, r2, r3]);
+            let s0 = self.slot(0, u64::from(r0));
+            let s1 = self.slot(1, u64::from(r1));
+            let s2 = self.slot(2, u64::from(r2));
+            let s3 = self.slot(3, u64::from(r3));
+            if self.frames[s0.idx()].tag == addr {
+                return Some(s0);
+            }
+            if self.frames[s1.idx()].tag == addr {
+                return Some(s1);
+            }
+            if self.frames[s2.idx()].tag == addr {
+                return Some(s2);
+            }
+            if self.frames[s3.idx()].tag == addr {
+                return Some(s3);
+            }
+            return None;
+        }
+        self.lookup(addr)
+    }
+
+    fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
+        let t = self.frames[slot.idx()].tag;
+        (t != INVALID_TAG).then_some(t)
+    }
+
+    fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {
+        self.walk_core(addr, out);
+    }
 
     fn install(&mut self, addr: LineAddr, victim: &Candidate, out: &mut InstallOutcome) {
         out.clear();
@@ -393,7 +613,8 @@ impl CacheArray for ZArray {
         assert_eq!(node.slot, victim.slot, "victim token/slot mismatch");
 
         // Evict the victim (or fill the empty frame).
-        let prev = self.tags[node.slot.idx()];
+        let pt = self.frames[node.slot.idx()].tag;
+        let prev = (pt != INVALID_TAG).then_some(pt);
         debug_assert_eq!(prev, victim.addr, "stale candidate");
         out.evicted = prev;
         out.evicted_slot = prev.map(|_| node.slot);
@@ -407,22 +628,33 @@ impl CacheArray for ZArray {
         for k in 1..self.walk.path.len() {
             let dst = self.walk.nodes[self.walk.path[k - 1] as usize].slot;
             let src = self.walk.nodes[self.walk.path[k] as usize].slot;
-            let moving = self.tags[src.idx()];
-            debug_assert!(moving.is_some(), "relocating an empty frame");
-            if let Some(m) = moving {
+            let moving = self.frames[src.idx()];
+            debug_assert_ne!(moving.tag, INVALID_TAG, "relocating an empty frame");
+            {
                 let dst_loc = self.location(dst);
                 debug_assert_eq!(
-                    self.row_of(m, dst_loc.way),
+                    self.row_of(moving.tag, dst_loc.way),
                     dst_loc.row,
                     "relocated block must hash to its destination row"
                 );
             }
-            self.tags[dst.idx()] = moving;
+            // The whole record — tag and row vector — travels with the
+            // block.
+            self.frames[dst.idx()] = moving;
             out.moves.push((src, dst));
         }
         let root_slot =
             self.walk.nodes[*self.walk.path.last().expect("path is never empty") as usize].slot;
-        self.tags[root_slot.idx()] = Some(addr);
+        let mut root = Frame {
+            tag: addr,
+            rows: [0; FRAME_WAYS],
+        };
+        if self.rows_cacheable() {
+            for way in 0..self.ways.min(FRAME_WAYS as u32) {
+                root.rows[way as usize] = self.row_of(addr, way) as u16;
+            }
+        }
+        self.frames[root_slot.idx()] = root;
         out.filled_slot = root_slot;
 
         // Consume the walk: a second install against it would relocate
@@ -432,14 +664,14 @@ impl CacheArray for ZArray {
 
     fn invalidate(&mut self, addr: LineAddr) -> Option<SlotId> {
         let slot = self.lookup(addr)?;
-        self.tags[slot.idx()] = None;
+        self.frames[slot.idx()].tag = INVALID_TAG;
         Some(slot)
     }
 
     fn for_each_valid(&self, f: &mut dyn FnMut(SlotId, LineAddr)) {
-        for (i, tag) in self.tags.iter().enumerate() {
-            if let Some(a) = tag {
-                f(SlotId(i as u32), *a);
+        for (i, fr) in self.frames.iter().enumerate() {
+            if fr.tag != INVALID_TAG {
+                f(SlotId(i as u32), fr.tag);
             }
         }
     }

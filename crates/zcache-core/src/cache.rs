@@ -3,7 +3,7 @@
 use crate::array::{AnyArray, ArrayKind, CacheArray, CandidateSet, InstallOutcome};
 use crate::array::{FullyAssocArray, RandomCandsArray, SetAssocArray, SkewArray, ZArray};
 use crate::assoc::AssociativityMeter;
-use crate::repl::{select_victim, AccessCtx, AnyPolicy, PolicyKind, ReplacementPolicy};
+use crate::repl::{AccessCtx, AnyPolicy, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use crate::types::LineAddr;
 use crate::WalkKind;
@@ -100,7 +100,7 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
         self.stats.accesses += 1;
         let ctx = AccessCtx { next_use };
 
-        if let Some(slot) = self.array.lookup(addr) {
+        if let Some(slot) = self.array.lookup_mut(addr) {
             self.stats.hits += 1;
             self.stats.tag_reads += u64::from(self.array.ways());
             if write {
@@ -114,14 +114,15 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
         }
 
         self.stats.misses += 1;
-        self.array.candidates(addr, &mut self.cands);
+        // Fused walk + selection: the victim is tracked while candidates
+        // stream out of the array (policies with a select prepass fall
+        // back to the two-pass sequence inside candidates_select).
+        let victim = self
+            .array
+            .candidates_select(addr, &mut self.policy, &mut self.cands);
         self.stats.candidates_examined += self.cands.len() as u64;
         self.stats.walk_levels += u64::from(self.cands.levels);
         self.stats.tag_reads += u64::from(self.cands.tag_reads);
-
-        self.policy.before_select(self.cands.as_slice());
-        let victim = select_victim(&self.policy, self.cands.as_slice())
-            .expect("candidate sets are never empty");
 
         if victim.addr.is_some() {
             if let Some(m) = self.meter.as_mut() {

@@ -60,8 +60,8 @@ pub use victim::VictimCache;
 
 pub use array::{
     digest_step, replacement_candidates, AnyArray, ArrayKind, CacheArray, Candidate, CandidateSet,
-    FullyAssocArray, InstallOutcome, RandomCandsArray, SetAssocArray, SkewArray, WalkKind,
-    WalkNodeInfo, WalkStats, ZArray, DIGEST_SEED,
+    FullyAssocArray, InstallOutcome, RandomCandsArray, SetAssocArray, SkewArray, TagIndex,
+    TagStore, WalkKind, WalkNodeInfo, WalkStats, ZArray, DIGEST_SEED, INVALID_TAG,
 };
 pub use assoc::{
     eviction_priority, ks_distance_to_uniform, uniform_assoc_cdf, uniform_assoc_mean,

@@ -92,9 +92,19 @@ impl ReplacementPolicy for BucketedLru {
         self.timestamps[slot.idx()] = self.counter;
     }
 
+    #[inline(always)]
     fn score(&self, slot: SlotId) -> u64 {
         // Age in mod-2ⁿ arithmetic.
         u64::from(self.counter.wrapping_sub(self.timestamps[slot.idx()]) & self.mask)
+    }
+
+    fn score_many(&self, cands: &[super::Candidate], out: &mut Vec<u64>) {
+        let (counter, mask) = (self.counter, self.mask);
+        out.extend(
+            cands
+                .iter()
+                .map(|c| u64::from(counter.wrapping_sub(self.timestamps[c.slot.idx()]) & mask)),
+        );
     }
 }
 

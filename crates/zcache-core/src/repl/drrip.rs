@@ -145,6 +145,11 @@ impl ReplacementPolicy for Drrip {
         }
     }
 
+    fn has_select_prepass(&self) -> bool {
+        true // candidate aging, as in Rrip
+    }
+
+    #[inline]
     fn score(&self, slot: SlotId) -> u64 {
         u64::from(self.rrpv[slot.idx()])
     }

@@ -54,8 +54,13 @@ impl ReplacementPolicy for Lfu {
         self.counts[slot.idx()] = 0;
     }
 
+    #[inline(always)]
     fn score(&self, slot: SlotId) -> u64 {
         u64::MAX - self.counts[slot.idx()]
+    }
+
+    fn score_many(&self, cands: &[super::Candidate], out: &mut Vec<u64>) {
+        out.extend(cands.iter().map(|c| u64::MAX - self.counts[c.slot.idx()]));
     }
 }
 

@@ -71,9 +71,29 @@ pub trait ReplacementPolicy {
     /// with selection-time state updates (e.g. RRIP aging) use this.
     fn before_select(&mut self, _cands: &[Candidate]) {}
 
+    /// Whether [`before_select`](Self::before_select) mutates policy
+    /// state. Arrays fuse candidate production with victim selection
+    /// only for policies without a select-time prepass — a mutating
+    /// prepass must observe the *complete* candidate set before any
+    /// score is read.
+    fn has_select_prepass(&self) -> bool {
+        false
+    }
+
     /// Eviction preference of the block in `slot`: higher scores are
     /// evicted first. Only called for occupied slots.
     fn score(&self, slot: SlotId) -> u64;
+
+    /// Batched scoring: appends one score per candidate to `out`, in
+    /// candidate order.
+    ///
+    /// Must agree element-wise with [`score`](Self::score) — including
+    /// on empty-frame candidates, even though selection short-circuits
+    /// on those before comparing scores. Policies override it to hoist
+    /// per-call state loads out of the loop on the miss hot path.
+    fn score_many(&self, cands: &[Candidate], out: &mut Vec<u64>) {
+        out.extend(cands.iter().map(|c| self.score(c.slot)));
+    }
 }
 
 /// Selects the best victim from a candidate set: an empty frame if one
@@ -217,23 +237,38 @@ macro_rules! delegate {
 }
 
 impl ReplacementPolicy for AnyPolicy {
+    #[inline]
     fn on_hit(&mut self, slot: SlotId, addr: LineAddr, ctx: &AccessCtx) {
         delegate!(self, p => p.on_hit(slot, addr, ctx))
     }
+    #[inline]
     fn on_fill(&mut self, slot: SlotId, addr: LineAddr, ctx: &AccessCtx) {
         delegate!(self, p => p.on_fill(slot, addr, ctx))
     }
+    #[inline]
     fn on_move(&mut self, from: SlotId, to: SlotId) {
         delegate!(self, p => p.on_move(from, to))
     }
+    #[inline]
     fn on_evict(&mut self, slot: SlotId) {
         delegate!(self, p => p.on_evict(slot))
     }
+    #[inline]
     fn before_select(&mut self, cands: &[Candidate]) {
         delegate!(self, p => p.before_select(cands))
     }
+    #[inline]
+    fn has_select_prepass(&self) -> bool {
+        delegate!(self, p => p.has_select_prepass())
+    }
+    #[inline]
     fn score(&self, slot: SlotId) -> u64 {
         delegate!(self, p => p.score(slot))
+    }
+    #[inline]
+    fn score_many(&self, cands: &[Candidate], out: &mut Vec<u64>) {
+        // Dispatch the enum once per miss instead of once per candidate.
+        delegate!(self, p => p.score_many(cands, out))
     }
 }
 

@@ -46,6 +46,7 @@ impl ReplacementPolicy for Opt {
         self.next_use[slot.idx()] = u64::MAX;
     }
 
+    #[inline]
     fn score(&self, slot: SlotId) -> u64 {
         // Furthest next use (or never) evicted first.
         self.next_use[slot.idx()]

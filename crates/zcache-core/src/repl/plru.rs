@@ -121,6 +121,7 @@ impl ReplacementPolicy for TreePlru {
 
     fn on_evict(&mut self, _slot: SlotId) {}
 
+    #[inline]
     fn score(&self, slot: SlotId) -> u64 {
         let (set, way) = self.set_way(slot);
         u64::from(self.victim_way(set) == way)

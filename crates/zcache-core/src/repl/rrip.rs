@@ -69,6 +69,11 @@ impl ReplacementPolicy for Rrip {
         }
     }
 
+    fn has_select_prepass(&self) -> bool {
+        true // the aging loop above mutates every candidate's RRPV
+    }
+
+    #[inline]
     fn score(&self, slot: SlotId) -> u64 {
         u64::from(self.rrpv[slot.idx()])
     }

@@ -28,7 +28,7 @@ impl BitSelect {
 }
 
 impl Hasher64 for BitSelect {
-    #[inline]
+    #[inline(always)]
     fn hash(&self, x: u64) -> u64 {
         x
     }

@@ -59,6 +59,7 @@ pub trait Hasher64 {
     /// # Panics
     ///
     /// Panics if `bits > 64`.
+    #[inline]
     fn index(&self, x: u64, bits: u32) -> u64 {
         assert!(bits <= 64, "index width must be at most 64 bits");
         if bits == 64 {
@@ -136,7 +137,7 @@ pub enum AnyHasher {
 }
 
 impl Hasher64 for AnyHasher {
-    #[inline]
+    #[inline(always)]
     fn hash(&self, x: u64) -> u64 {
         match self {
             AnyHasher::BitSelect(h) => h.hash(x),

@@ -37,7 +37,7 @@ impl Mix64 {
 }
 
 impl Hasher64 for Mix64 {
-    #[inline]
+    #[inline(always)]
     fn hash(&self, x: u64) -> u64 {
         let mut z = x ^ self.seed;
         z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);

@@ -153,7 +153,13 @@ pub mod strategy {
             }
         )+};
     }
-    tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+    tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
 }
 
 /// Collection strategies (`prop::collection::vec`).
