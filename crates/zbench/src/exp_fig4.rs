@@ -11,9 +11,9 @@
 use crate::format_table;
 use crate::geomean;
 use crate::opts::{fig_designs, with_policy, ExpOpts};
+use crate::pipeline::PointScratch;
 use crate::{point_seed, SweepRunner};
 use zcache_core::PolicyKind;
-use zsim::trace::{record_trace, replay};
 use zsim::SimStats;
 use zworkloads::suite::paper_suite_scaled;
 
@@ -63,14 +63,14 @@ pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig4Result {
         .min(workloads.len());
     let base_cfg = opts.sim_config();
 
-    let points = SweepRunner::from_opts(opts).run(n, |i| {
+    let points = SweepRunner::from_opts(opts).run_with(n, PointScratch::new, |i, scratch| {
         let wl = &workloads[i];
         let mut cfg = base_cfg.clone();
         cfg.seed = point_seed(opts.seed, i as u64);
-        let trace = record_trace(&cfg, wl);
+        scratch.record(&cfg, wl);
         let stats: Vec<(String, SimStats)> = designs
             .iter()
-            .map(|(label, design)| (label.clone(), replay(&cfg.clone().with_l2(*design), &trace)))
+            .map(|(label, design)| (label.clone(), scratch.replay(&cfg.clone().with_l2(*design))))
             .collect();
         let (base_mpki, base_ipc) = {
             let s = &stats[0].1;

@@ -4,10 +4,10 @@
 use crate::format_table;
 use crate::geomean;
 use crate::opts::{fig_designs, ExpOpts};
+use crate::pipeline::PointScratch;
 use crate::{point_seed, SweepRunner};
 use zcache_core::PolicyKind;
 use zenergy::{LookupMode, SystemPowerModel};
-use zsim::trace::{record_trace, replay};
 use zworkloads::suite::paper_suite_scaled;
 
 /// One design × lookup-mode × workload measurement.
@@ -52,18 +52,18 @@ pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig5Result {
     // One sweep point per workload; point indices run over the full
     // suite (of which `--workloads` keeps a prefix), so per-point seeds
     // survive filtering. See `exp_fig4::run`.
-    let per_workload = SweepRunner::from_opts(opts).run(n, |i| {
+    let per_workload = SweepRunner::from_opts(opts).run_with(n, PointScratch::new, |i, scratch| {
         let wl = &workloads[i];
         let mut cfg = base_cfg.clone();
         cfg.seed = point_seed(opts.seed, i as u64);
-        let trace = record_trace(&cfg, wl);
+        scratch.record(&cfg, wl);
 
         // Baseline: serial SA-4.
         let baseline_design = designs[0]
             .1
             .with_policy(policy)
             .with_lookup(LookupMode::Serial);
-        let base_stats = replay(&cfg.clone().with_l2(baseline_design), &trace);
+        let base_stats = scratch.replay(&cfg.clone().with_l2(baseline_design));
         let base_cost = baseline_design
             .cache_design(cfg.l2_lines, cfg.l2_banks)
             .cost();
@@ -75,7 +75,7 @@ pub fn run(policy: PolicyKind, opts: &ExpOpts) -> Fig5Result {
         for (label, design) in &designs {
             for lookup in [LookupMode::Serial, LookupMode::Parallel] {
                 let d = design.with_policy(policy).with_lookup(lookup);
-                let stats = replay(&cfg.clone().with_l2(d), &trace);
+                let stats = scratch.replay(&cfg.clone().with_l2(d));
                 let cost = d.cache_design(cfg.l2_lines, cfg.l2_banks).cost();
                 let energy = power.evaluate(&stats.energy_counts(), &cost);
                 cells.push(Fig5Cell {

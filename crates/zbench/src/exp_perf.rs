@@ -13,10 +13,23 @@
 //! the JSON output carries both figures so the perf trajectory of the
 //! repo is auditable from artifacts alone.
 
+//! `--sim` extends the measurement one level up: instead of a bare
+//! array, it times the full zsim CMP path (L1s → MESI directory → banked
+//! L2 → bank ports → memory channels) in execution mode, plus the
+//! fig4-style trace pipeline (record once into reused buffers, compute
+//! the next-use oracle only when OPT replays need it, replay against the
+//! whole design lineup). Those are the loops
+//! the fig4/fig5 sweeps spend their wall-clock in, so `BENCH_sim.json`
+//! tracks end-to-end simulated-accesses/sec the same way
+//! `BENCH_access.json` tracks the raw array path.
+
+use crate::pipeline::PointScratch;
 use std::hint::black_box;
 use std::time::Instant;
 use zcache_core::{ArrayKind, CacheBuilder, PolicyKind};
 use zhash::HashKind;
+use zsim::{L2Design, SimConfig, System};
+use zworkloads::suite::{by_name, Scale};
 use zworkloads::{AddressStream, Component, CoreSpec, Workload};
 
 /// Options for the throughput run.
@@ -167,11 +180,19 @@ pub fn gen_refs(n: usize, seed: u64) -> Vec<(u64, bool)> {
 
 /// Runs the full lineup and returns one row per (design × policy) pair.
 pub fn run(opts: &PerfOpts) -> Vec<PerfRow> {
+    run_filtered(opts, None)
+}
+
+/// Like [`run`], restricted to the pairs a [`RowFilter`] keeps.
+pub fn run_filtered(opts: &PerfOpts, filter: Option<&RowFilter>) -> Vec<PerfRow> {
     let refs = gen_refs(opts.warmup + opts.accesses, opts.seed);
     let (warm, timed) = refs.split_at(opts.warmup);
     let mut rows = Vec::new();
     for (dname, kind, lines) in designs() {
         for (pname, policy) in policies() {
+            if filter.is_some_and(|f| !f.matches(dname, pname)) {
+                continue;
+            }
             let mut best: Option<PerfRow> = None;
             for _ in 0..opts.reps.max(1) {
                 let mut cache = CacheBuilder::new()
@@ -270,6 +291,300 @@ pub fn to_json(rows: &[PerfRow], opts: &PerfOpts) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Options for the end-to-end simulation throughput run (`perf --sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimPerfOpts {
+    /// Simulated cores.
+    pub cores: u32,
+    /// Instructions per core per timed run.
+    pub instrs_per_core: u64,
+    /// Base seed (the workload streams are pure functions of it).
+    pub seed: u64,
+    /// Timed repetitions per row; the best rep is reported (wall-clock
+    /// noise on a shared core is strictly additive).
+    pub reps: usize,
+}
+
+impl Default for SimPerfOpts {
+    fn default() -> Self {
+        Self {
+            cores: 8,
+            instrs_per_core: 150_000,
+            seed: 1,
+            reps: 3,
+        }
+    }
+}
+
+impl SimPerfOpts {
+    /// A ~2-second smoke configuration for CI.
+    pub fn smoke() -> Self {
+        Self {
+            cores: 4,
+            instrs_per_core: 40_000,
+            seed: 1,
+            reps: 1,
+        }
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        cfg.cores = self.cores;
+        cfg.l1_lines = Scale::SMALL.l1_lines;
+        cfg.l2_lines = Scale::SMALL.l2_lines;
+        cfg.instrs_per_core = self.instrs_per_core;
+        cfg.seed = crate::point_seed(self.seed, 0);
+        cfg
+    }
+}
+
+/// One measured end-to-end simulation row.
+#[derive(Debug, Clone)]
+pub struct SimPerfRow {
+    /// Row label: `exec-sa4` / `exec-z4` (execution-driven `System::run`
+    /// of one design) or `fig4` (record + replay the full design lineup).
+    pub design: &'static str,
+    /// Policy label (`lru` or `opt`).
+    pub policy: &'static str,
+    /// Simulated accesses processed in the timed section (L1 data
+    /// references; for `fig4` rows, the recording run's references plus
+    /// the trace length once per replayed design).
+    pub sim_accesses: u64,
+    /// Best-rep wall-clock seconds.
+    pub secs: f64,
+    /// Measured end-to-end throughput.
+    pub accesses_per_sec: f64,
+}
+
+impl SimPerfRow {
+    /// Recorded pre-rework throughput for this row, if any.
+    pub fn baseline(&self) -> Option<f64> {
+        BASELINE_SIM
+            .iter()
+            .find(|(d, p, _)| *d == self.design && *p == self.policy)
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Speedup over [`baseline`](Self::baseline) (1.0 when unknown).
+    pub fn speedup(&self) -> f64 {
+        self.baseline().map_or(1.0, |b| self.accesses_per_sec / b)
+    }
+}
+
+/// End-to-end simulated-accesses/sec of the pre-rework zsim path (commit
+/// `f080bd0`: std-SipHash `HashMap` directory, per-replay next-use
+/// recomputation, per-point trace materialization), measured with
+/// `zbench perf --sim` defaults on the single-core reference container.
+pub const BASELINE_SIM: &[(&str, &str, f64)] = &[
+    ("exec-sa4", "lru", 5_507_716.0),
+    ("exec-z4", "lru", 3_491_357.0),
+    ("fig4", "lru", 6_938_414.0),
+    ("fig4", "opt", 7_829_093.0),
+];
+
+/// The workload mix every sim row runs, chosen to span the regimes the
+/// 72-workload fig4 suite is made of: canneal (miss-heavy pointer chase —
+/// walks, directory churn, inclusion victims, memory queueing), gcc
+/// (mid-locality mix), blackscholes (L1-resident, recording-dominated)
+/// and cactusADM (streaming grid). Each row's accesses and wall-clock
+/// are summed over the mix, so the reported accesses/sec is the
+/// suite-shaped aggregate, not a single workload's extreme.
+pub const SIM_WORKLOADS: &[&str] = &["canneal", "gcc", "blackscholes", "cactusADM"];
+
+/// Runs the end-to-end rows: execution-driven SA-4 and Z4/52, then the
+/// fig4-style trace pipeline (record + replay all six lineup designs)
+/// under LRU and OPT. Every row aggregates the [`SIM_WORKLOADS`] mix.
+pub fn run_sim(opts: &SimPerfOpts) -> Vec<SimPerfRow> {
+    let cfg = opts.sim_config();
+    let wls: Vec<_> = SIM_WORKLOADS
+        .iter()
+        .map(|name| {
+            by_name(name, opts.cores as usize, Scale::SMALL).expect("sim workload is in the suite")
+        })
+        .collect();
+    let mut rows = Vec::new();
+
+    for (label, design) in [
+        ("exec-sa4", L2Design::setassoc(4)),
+        ("exec-z4", L2Design::zcache(4, 3)),
+    ] {
+        let mut best: Option<SimPerfRow> = None;
+        for _ in 0..opts.reps.max(1) {
+            let mut accesses = 0u64;
+            let mut secs = 0.0f64;
+            for wl in &wls {
+                let run_cfg = cfg.clone().with_l2(design);
+                let t0 = Instant::now();
+                let mut sys = System::new(run_cfg);
+                let stats = sys.run(wl);
+                secs += t0.elapsed().as_secs_f64();
+                black_box(&stats);
+                accesses += stats.l1.accesses;
+            }
+            let secs = secs.max(1e-9);
+            let row = SimPerfRow {
+                design: label,
+                policy: "lru",
+                sim_accesses: accesses,
+                secs,
+                accesses_per_sec: accesses as f64 / secs,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| row.accesses_per_sec > b.accesses_per_sec)
+            {
+                best = Some(row);
+            }
+        }
+        rows.push(best.expect("reps >= 1"));
+    }
+
+    for (pname, policy) in [("lru", PolicyKind::Lru), ("opt", PolicyKind::Opt)] {
+        let designs = crate::opts::with_policy(&crate::opts::fig_designs(), policy);
+        let mut best: Option<SimPerfRow> = None;
+        // The sweep pipeline under measurement: one scratch streams every
+        // (workload, rep) through reused buffers, exactly like fig4/fig5.
+        let mut scratch = PointScratch::new();
+        for _ in 0..opts.reps.max(1) {
+            let mut accesses = 0u64;
+            let mut secs = 0.0f64;
+            for wl in &wls {
+                let t0 = Instant::now();
+                scratch.record(&cfg, wl);
+                // Count the references actually pushed through the
+                // pipeline: the recording run's L1 accesses plus one
+                // replay of the trace per lineup design.
+                accesses += scratch.trace().l1_stats.accesses;
+                for (_, design) in &designs {
+                    let stats = scratch.replay(&cfg.clone().with_l2(*design));
+                    black_box(&stats);
+                    accesses += scratch.trace().len() as u64;
+                }
+                secs += t0.elapsed().as_secs_f64();
+            }
+            let secs = secs.max(1e-9);
+            let row = SimPerfRow {
+                design: "fig4",
+                policy: pname,
+                sim_accesses: accesses,
+                secs,
+                accesses_per_sec: accesses as f64 / secs,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| row.accesses_per_sec > b.accesses_per_sec)
+            {
+                best = Some(row);
+            }
+        }
+        rows.push(best.expect("reps >= 1"));
+    }
+    rows
+}
+
+/// Formats the sim rows as a table with baseline comparison.
+pub fn report_sim(rows: &[SimPerfRow]) -> String {
+    let mut out = String::from(
+        "End-to-end simulation throughput (simulated accesses/sec, fig4-style config)\n\n",
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.to_string(),
+                r.policy.to_string(),
+                r.sim_accesses.to_string(),
+                format!("{:.3}s", r.secs),
+                format!("{:.2}M", r.accesses_per_sec / 1e6),
+                r.baseline()
+                    .map_or("-".into(), |b| format!("{:.2}M", b / 1e6)),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::format_table(
+        &[
+            "design", "policy", "accesses", "time", "acc/s", "baseline", "speedup",
+        ],
+        &table,
+    ));
+    out
+}
+
+/// Serializes the sim rows (plus run metadata) as the `BENCH_sim.json`
+/// artifact. Hand-rolled JSON: the build environment has no serde.
+pub fn to_json_sim(rows: &[SimPerfRow], opts: &SimPerfOpts) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"zbench-sim-v1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&format!("  \"cores\": {},\n", opts.cores));
+    out.push_str(&format!(
+        "  \"instrs_per_core\": {},\n",
+        opts.instrs_per_core
+    ));
+    out.push_str(&format!("  \"reps\": {},\n", opts.reps));
+    let wl_list = SIM_WORKLOADS
+        .iter()
+        .map(|w| format!("\"{w}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("  \"workloads\": [{wl_list}],\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let baseline = r
+            .baseline()
+            .map_or("null".to_string(), |b| format!("{b:.1}"));
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"policy\": \"{}\", \"sim_accesses\": {}, \
+             \"secs\": {:.4}, \"accesses_per_sec\": {:.1}, \
+             \"baseline_accesses_per_sec\": {}, \"speedup\": {:.3}}}{}\n",
+            r.design,
+            r.policy,
+            r.sim_accesses,
+            r.secs,
+            r.accesses_per_sec,
+            baseline,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A `design:policy` row filter for `zbench perf` (`--filter`).
+///
+/// Either side may be empty (wildcard): `z3:` keeps every policy of
+/// design `z3`, `:lru` keeps LRU rows of every design, `fig4:opt` keeps
+/// one row. Returns `None` for a malformed pattern (more than one `:`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowFilter {
+    design: Option<String>,
+    policy: Option<String>,
+}
+
+impl RowFilter {
+    /// Parses `pattern`; `None` if it contains more than one `:`.
+    pub fn parse(pattern: &str) -> Option<Self> {
+        let mut parts = pattern.splitn(2, ':');
+        let design = parts.next().unwrap_or("");
+        let policy = parts.next().unwrap_or("");
+        if pattern.matches(':').count() > 1 {
+            return None;
+        }
+        Some(Self {
+            design: (!design.is_empty()).then(|| design.to_string()),
+            policy: (!policy.is_empty()).then(|| policy.to_string()),
+        })
+    }
+
+    /// Whether a `(design, policy)` pair passes the filter.
+    pub fn matches(&self, design: &str, policy: &str) -> bool {
+        self.design.as_deref().is_none_or(|d| d == design)
+            && self.policy.as_deref().is_none_or(|p| p == policy)
+    }
 }
 
 #[cfg(test)]

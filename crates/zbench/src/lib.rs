@@ -37,6 +37,7 @@ pub mod exp_perf;
 pub mod exp_table2;
 pub mod exp_trace;
 pub mod opts;
+pub mod pipeline;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -89,9 +90,29 @@ impl SweepRunner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_with(n, || (), |i, ()| f(i))
+    }
+
+    /// Like [`run`](Self::run), but hands every worker a private mutable
+    /// scratch state built by `init` — the hook for reusing expensive
+    /// buffers (trace vectors, replay queues, Zipf tables) across all the
+    /// points a worker claims.
+    ///
+    /// Determinism contract: `f(i, scratch)` must return the same value
+    /// for any scratch history — scratch may only carry *capacity* (or
+    /// point-independent caches), never data that leaks into results.
+    /// Workers claim points dynamically, so the sequence of points a given
+    /// scratch sees is scheduling-dependent.
+    pub fn run_with<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
         let jobs = self.jobs.min(n);
         if jobs <= 1 {
-            return (0..n).map(f).collect();
+            let mut scratch = init();
+            return (0..n).map(|i| f(i, &mut scratch)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
@@ -99,13 +120,14 @@ impl SweepRunner {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
                     s.spawn(|| {
+                        let mut scratch = init();
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            local.push((i, f(i)));
+                            local.push((i, f(i, &mut scratch)));
                         }
                         local
                     })

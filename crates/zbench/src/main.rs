@@ -37,7 +37,12 @@
 //!   --digest-every N        check: full-state digest interval (default 1024)
 //!   --smoke                 perf: ~2-second CI configuration
 //!   --reps N                perf: timed repetitions per pair; best rep is reported
-//!   --out FILE              perf: JSON artifact path (default BENCH_access.json)
+//!   --sim                   perf: measure end-to-end zsim throughput instead of
+//!                           the raw array path; writes BENCH_sim.json
+//!   --filter D:P            perf: keep only rows matching design:policy (either
+//!                           side empty = wildcard, e.g. z3: or :lru)
+//!   --out FILE              perf: JSON artifact path (default BENCH_access.json,
+//!                           BENCH_sim.json with --sim)
 //!
 //! `check` exits 1 on divergence, after delta-debugging the failing
 //! stream to a minimal repro and writing it to tests/corpus/.
@@ -55,7 +60,7 @@ const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|
                      conflicts|trace|dumptrace|check|perf|all> [--scale small|paper] [--cores N] \
                      [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] [--jobs N] \
                      [--accesses N] [--design NAME] [--lines N] [--ways N] [--digest-every N] \
-                     [--smoke] [--reps N] [--out FILE]";
+                     [--smoke] [--reps N] [--sim] [--filter D:P] [--out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +76,8 @@ fn main() {
     let mut accesses_arg: Option<usize> = None;
     let mut reps_arg: Option<usize> = None;
     let mut smoke = false;
+    let mut sim = false;
+    let mut filter_arg: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
@@ -127,6 +134,14 @@ fn main() {
             "--smoke" => {
                 smoke = true;
                 i += 1;
+            }
+            "--sim" => {
+                sim = true;
+                i += 1;
+            }
+            "--filter" => {
+                filter_arg = Some(take("--filter"));
+                i += 2;
             }
             "--reps" => {
                 reps_arg = Some(take("--reps").parse().expect("--reps: integer"));
@@ -261,28 +276,72 @@ fn main() {
             check(check_opts, design_arg.as_deref(), policy_arg.as_deref());
         }
         "perf" => {
-            let mut popts = if smoke {
-                zbench::exp_perf::PerfOpts::smoke()
+            let filter = filter_arg.as_deref().map(|pattern| {
+                zbench::exp_perf::RowFilter::parse(pattern).unwrap_or_else(|| {
+                    eprintln!("malformed --filter {pattern:?} (expected design:policy)");
+                    std::process::exit(2);
+                })
+            });
+            if sim {
+                let mut sopts = if smoke {
+                    zbench::exp_perf::SimPerfOpts::smoke()
+                } else {
+                    zbench::exp_perf::SimPerfOpts::default()
+                };
+                sopts.seed = opts.seed;
+                if let Some(r) = reps_arg {
+                    sopts.reps = r.max(1);
+                }
+                let mut rows = zbench::exp_perf::run_sim(&sopts);
+                if let Some(f) = &filter {
+                    rows.retain(|r| f.matches(r.design, r.policy));
+                }
+                if rows.is_empty() {
+                    eprintln!(
+                        "--filter matched no rows (designs: exec-sa4, exec-z4, fig4; \
+                         policies: lru, opt)"
+                    );
+                    std::process::exit(2);
+                }
+                println!("{}", zbench::exp_perf::report_sim(&rows));
+                let path = out_path.unwrap_or_else(|| "BENCH_sim.json".to_string());
+                let json = zbench::exp_perf::to_json_sim(&rows, &sopts);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("wrote {path}");
             } else {
-                zbench::exp_perf::PerfOpts::default()
-            };
-            popts.seed = opts.seed;
-            if let Some(n) = accesses_arg {
-                popts.accesses = n;
-                popts.warmup = n / 4;
+                let mut popts = if smoke {
+                    zbench::exp_perf::PerfOpts::smoke()
+                } else {
+                    zbench::exp_perf::PerfOpts::default()
+                };
+                popts.seed = opts.seed;
+                if let Some(n) = accesses_arg {
+                    popts.accesses = n;
+                    popts.warmup = n / 4;
+                }
+                if let Some(r) = reps_arg {
+                    popts.reps = r.max(1);
+                }
+                let rows = zbench::exp_perf::run_filtered(&popts, filter.as_ref());
+                if rows.is_empty() {
+                    eprintln!(
+                        "--filter matched no rows (designs: sa-h3, skew, z2, z3, z4, fully; \
+                         policies: lru, bucketed-lru, lfu)"
+                    );
+                    std::process::exit(2);
+                }
+                println!("{}", zbench::exp_perf::report(&rows));
+                let path = out_path.unwrap_or_else(|| "BENCH_access.json".to_string());
+                let json = zbench::exp_perf::to_json(&rows, &popts);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("wrote {path}");
             }
-            if let Some(r) = reps_arg {
-                popts.reps = r.max(1);
-            }
-            let rows = zbench::exp_perf::run(&popts);
-            println!("{}", zbench::exp_perf::report(&rows));
-            let path = out_path.unwrap_or_else(|| "BENCH_access.json".to_string());
-            let json = zbench::exp_perf::to_json(&rows, &popts);
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            }
-            println!("wrote {path}");
         }
         "all" => {
             table1(&opts);

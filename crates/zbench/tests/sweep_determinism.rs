@@ -3,9 +3,11 @@
 //! filtering (a filtered run reproduces the unfiltered run's values for
 //! every point it retains).
 
-use zbench::opts::ExpOpts;
-use zbench::{exp_ablate, exp_fig3, exp_fig4};
+use zbench::opts::{fig_designs, with_policy, ExpOpts};
+use zbench::pipeline::PointScratch;
+use zbench::{exp_ablate, exp_fig3, exp_fig4, point_seed, SweepRunner};
 use zcache_core::PolicyKind;
+use zworkloads::suite::paper_suite_scaled;
 
 fn opts(jobs: usize) -> ExpOpts {
     ExpOpts {
@@ -49,6 +51,56 @@ fn ablate_results_identical_across_job_counts() {
     let serial = exp_ablate::run(&o);
     let parallel = exp_ablate::run(&ExpOpts { jobs: 4, ..o });
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// FNV-1a over the exact `Debug` rendering of every raw [`zsim::SimStats`]
+/// the fig4 pipeline produces. `SimStats` is integer counters throughout,
+/// so the rendering — and hence the digest — is exact, with no float
+/// rounding to hide a divergence the derived MPKI/IPC numbers would round
+/// away.
+fn fig4_simstats_digest(jobs: usize, policy: PolicyKind) -> u64 {
+    let o = opts(jobs);
+    let designs = with_policy(&fig_designs(), policy);
+    let workloads = paper_suite_scaled(o.cores as usize, o.scale);
+    let n = 4.min(workloads.len());
+    let base_cfg = o.sim_config();
+    let points = SweepRunner::new(jobs).run_with(n, PointScratch::new, |i, scratch| {
+        let wl = &workloads[i];
+        let mut cfg = base_cfg.clone();
+        cfg.seed = point_seed(o.seed, i as u64);
+        scratch.record(&cfg, wl);
+        let mut rendered = String::new();
+        for (label, design) in &designs {
+            let stats = scratch.replay(&cfg.clone().with_l2(*design));
+            rendered.push_str(&format!("{}/{label}: {stats:?}\n", wl.name()));
+        }
+        rendered
+    });
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in points.concat().bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn fig4_simstats_digest_identical_for_any_jobs() {
+    // The end-to-end determinism claim at the raw-statistics level:
+    // identical seeds give bit-identical SimStats for the fig4
+    // record-and-replay configuration no matter how the sweep is
+    // scheduled, under both a stateless policy (LRU) and the
+    // oracle-consuming one (OPT, which exercises the shared next-use
+    // pipeline in the scratch).
+    for policy in [PolicyKind::Lru, PolicyKind::Opt] {
+        let serial = fig4_simstats_digest(1, policy);
+        for jobs in [2, 4] {
+            assert_eq!(
+                fig4_simstats_digest(jobs, policy),
+                serial,
+                "jobs={jobs} policy={policy:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -246,11 +246,13 @@ pub trait CacheArray {
     ///
     /// Semantics are pinned to the unfused sequence — `candidates`,
     /// [`before_select`](ReplacementPolicy::before_select), then
-    /// [`select_victim`] — and implementations must produce the exact
-    /// same candidate set in `out` and the exact same victim. [`ZArray`]
-    /// overrides this to consult [`score`](ReplacementPolicy::score)
-    /// as the walk produces candidates (skipping the rescan) whenever
-    /// the policy has no mutating select-time prepass.
+    /// [`select_victim`] — and any override must produce the exact same
+    /// candidate set in `out` and the exact same victim. (Selecting with
+    /// per-candidate [`score`](ReplacementPolicy::score) calls during
+    /// the walk has been tried and measured slower than the batched
+    /// [`score_many`](ReplacementPolicy::score_many) rescan: the
+    /// per-item policy dispatch in the loop beats the dense score-vector
+    /// pass only for tiny candidate sets.)
     ///
     /// # Panics
     ///

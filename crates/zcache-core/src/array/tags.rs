@@ -18,8 +18,8 @@
 //! [`FullyAssocArray`]: super::FullyAssocArray
 //! [`RandomCandsArray`]: super::RandomCandsArray
 
+use crate::seeded_map::SeededMap;
 use crate::types::{LineAddr, SlotId};
-use zhash::{Hasher64, Mix64};
 
 /// Reserved tag value marking an empty frame.
 ///
@@ -113,64 +113,40 @@ impl TagStore {
 /// A seeded open-addressing address→slot map (linear probing,
 /// backward-shift deletion, power-of-two capacity, load factor ≤ 0.5).
 ///
-/// Capacity is fixed at construction — the map holds at most one entry
-/// per cache frame, so it is sized once for `lines` entries and never
-/// rehashes.
+/// A thin, capacity-fixed wrapper over [`SeededMap`] — the map holds at
+/// most one entry per cache frame, so it is sized once for `lines`
+/// entries and never rehashes. The open-addressing machinery itself
+/// lives in [`crate::seeded_map`], shared with the zsim directory and
+/// the OPT oracle.
 #[derive(Debug, Clone)]
 pub struct TagIndex {
-    hasher: Mix64,
-    mask: usize,
-    /// Probe keys; [`INVALID_TAG`] marks a free bucket.
-    keys: Vec<u64>,
-    /// Slot payloads, parallel to `keys`.
-    vals: Vec<u32>,
-    len: usize,
+    map: SeededMap<u32>,
 }
 
 impl TagIndex {
     /// Creates an index able to hold `lines` entries at ≤ 0.5 load.
     pub fn with_capacity(lines: usize, seed: u64) -> Self {
-        let cap = (lines.max(1) * 2).next_power_of_two();
         Self {
-            hasher: Mix64::new(seed),
-            mask: cap - 1,
-            keys: vec![INVALID_TAG; cap],
-            vals: vec![0; cap],
-            len: 0,
+            map: SeededMap::fixed_capacity(lines, seed),
         }
     }
 
     /// Entries currently stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.map.len()
     }
 
     /// Whether the index is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    #[inline(always)]
-    fn start(&self, addr: LineAddr) -> usize {
-        self.hasher.hash(addr) as usize & self.mask
+        self.map.is_empty()
     }
 
     /// The slot holding `addr`, if present.
     #[inline]
     pub fn get(&self, addr: LineAddr) -> Option<SlotId> {
-        let mut i = self.start(addr);
-        loop {
-            let k = self.keys[i];
-            if k == addr {
-                return Some(SlotId(self.vals[i]));
-            }
-            if k == INVALID_TAG {
-                return None;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.map.get(addr).map(SlotId)
     }
 
     /// Inserts or updates the mapping `addr → slot`.
@@ -179,64 +155,19 @@ impl TagIndex {
     ///
     /// Panics if `addr` is [`INVALID_TAG`] or the table is full (more
     /// entries than the construction-time `lines`).
+    #[inline]
     pub fn insert(&mut self, addr: LineAddr, slot: SlotId) {
-        assert_ne!(addr, INVALID_TAG, "INVALID_TAG is a reserved line address");
-        let mut i = self.start(addr);
-        loop {
-            let k = self.keys[i];
-            if k == addr {
-                self.vals[i] = slot.0;
-                return;
-            }
-            if k == INVALID_TAG {
-                assert!(self.len <= self.mask / 2, "tag index over capacity");
-                self.keys[i] = addr;
-                self.vals[i] = slot.0;
-                self.len += 1;
-                return;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.map.insert(addr, slot.0);
     }
 
     /// Removes `addr`, returning its slot if it was present.
     ///
-    /// Uses backward-shift deletion instead of tombstones, so probe
-    /// chains never grow with churn and behavior stays a pure function
-    /// of the current contents.
+    /// Backward-shift deletion (see [`SeededMap::remove`]): probe chains
+    /// never grow with churn and behavior stays a pure function of the
+    /// current contents.
+    #[inline]
     pub fn remove(&mut self, addr: LineAddr) -> Option<SlotId> {
-        let mut hole = self.start(addr);
-        loop {
-            let k = self.keys[hole];
-            if k == addr {
-                break;
-            }
-            if k == INVALID_TAG {
-                return None;
-            }
-            hole = (hole + 1) & self.mask;
-        }
-        let removed = self.vals[hole];
-
-        // Shift any displaced entries back toward their home bucket so
-        // the invariant "every entry is reachable from its home without
-        // crossing a free bucket" is restored.
-        let mut cur = (hole + 1) & self.mask;
-        while self.keys[cur] != INVALID_TAG {
-            let home = self.start(self.keys[cur]);
-            // `cur`'s entry may fill the hole iff its home bucket is not
-            // cyclically inside (hole, cur] — otherwise moving it would
-            // place it before its own probe start.
-            if (cur.wrapping_sub(home) & self.mask) >= (cur.wrapping_sub(hole) & self.mask) {
-                self.keys[hole] = self.keys[cur];
-                self.vals[hole] = self.vals[cur];
-                hole = cur;
-            }
-            cur = (cur + 1) & self.mask;
-        }
-        self.keys[hole] = INVALID_TAG;
-        self.len -= 1;
-        Some(SlotId(removed))
+        self.map.remove(addr).map(SlotId)
     }
 }
 
@@ -353,10 +284,11 @@ mod tests {
             }
             idx.remove(7);
             idx.remove(31 * 5 + 7);
-            (idx.keys.clone(), idx.vals.clone())
+            // Table (layout) iteration order is the observable layout.
+            idx.map.iter().collect::<Vec<_>>()
         };
         assert_eq!(build(9), build(9));
-        assert_ne!(build(9).0, build(10).0, "seed must permute the layout");
+        assert_ne!(build(9), build(10), "seed must permute the layout");
     }
 
     #[test]

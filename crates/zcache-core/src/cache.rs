@@ -171,6 +171,25 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
         }
     }
 
+    /// Write access that only proceeds if `addr` is resident: the hit
+    /// path of [`access_full`](Cache::access_full) with `write = true`,
+    /// fused with the residence check so callers draining posted
+    /// write-backs do one lookup instead of two (`contains` followed by
+    /// `access_full`). Returns whether the block was present; a miss
+    /// leaves the cache — contents, policy and statistics — untouched.
+    pub fn write_if_present(&mut self, addr: LineAddr, next_use: u64) -> bool {
+        let Some(slot) = self.array.lookup_mut(addr) else {
+            return false;
+        };
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        self.stats.tag_reads += u64::from(self.array.ways());
+        self.stats.data_writes += 1;
+        self.dirty[slot.idx()] = true;
+        self.policy.on_hit(slot, addr, &AccessCtx { next_use });
+        true
+    }
+
     /// Invalidates `addr` (coherence or inclusion victim); returns
     /// `Some(dirty)` if the block was resident.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<bool> {

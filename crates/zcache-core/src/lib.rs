@@ -51,6 +51,7 @@ mod array;
 mod assoc;
 mod cache;
 mod repl;
+pub mod seeded_map;
 mod stats;
 mod types;
 mod victim;
@@ -72,5 +73,6 @@ pub use repl::{
     select_victim, AccessCtx, AnyPolicy, BucketedLru, Drrip, FullLru, Lfu, Opt, OptTrace,
     PolicyKind, RandomRepl, ReplacementPolicy, Rrip, TreePlru,
 };
+pub use seeded_map::SeededMap;
 pub use stats::{CacheStats, UnitHistogram};
 pub use types::{LineAddr, Location, SlotId};

@@ -39,6 +39,7 @@ impl BankPorts {
     /// A demand access arriving at `now`, needing one port cycle:
     /// returns the queueing delay (behind *other demand accesses* only —
     /// walks yield).
+    #[inline]
     pub fn demand(&mut self, bank: usize, now: u64) -> u64 {
         let start = now.max(self.demand_free[bank]);
         let wait = start - now;
@@ -53,6 +54,7 @@ impl BankPorts {
     /// Walk/relocation traffic triggered at `now` occupying the port for
     /// `ops` cycles; runs in the idle cycles behind demand traffic and
     /// any earlier replacement, never stalling the requester.
+    #[inline]
     pub fn background(&mut self, bank: usize, now: u64, ops: u32) {
         let start = now
             .max(self.background_free[bank])

@@ -1,7 +1,6 @@
 //! MESI-style directory kept alongside the inclusive L2.
 
-use std::collections::HashMap;
-use zcache_core::LineAddr;
+use zcache_core::{LineAddr, SeededMap};
 
 /// Directory state for one L2-resident line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,23 +22,55 @@ impl DirEntry {
 /// coherence"). An entry exists exactly for lines resident in the L2
 /// (inclusive hierarchy), tracking which L1s hold copies and which, if
 /// any, holds the line modified.
-#[derive(Debug, Clone, Default)]
+///
+/// Entries live in a seeded open-addressing [`SeededMap`] rather than a
+/// std `HashMap`: directory get/insert/remove sit on the per-access hot
+/// path of [`System::access`](crate::System::access), where SipHash plus
+/// `RandomState`'s per-process seeding cost both throughput and
+/// reproducibility. Sized via [`with_capacity`](Self::with_capacity) to
+/// the L2's line count, the map never rehashes during simulation.
+#[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: SeededMap<DirEntry>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Directory {
-    /// Creates an empty directory.
+    /// Fixed seed salt for the directory table. The layout never leaks
+    /// (iteration sorts), so one constant serves every configuration.
+    const SEED_SALT: u64 = 0xd19_0c7e_u64;
+
+    /// Creates an empty directory with a small default capacity (grows
+    /// deterministically as needed).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(64, 0)
+    }
+
+    /// Creates an empty directory pre-sized for an L2 of `lines` frames.
+    ///
+    /// `lines + 1` entries fit without growth: on an L2 miss the new
+    /// line is registered before the inclusion victim is removed, so the
+    /// directory transiently holds one entry more than the L2 has
+    /// frames.
+    pub fn with_capacity(lines: usize, seed: u64) -> Self {
+        Self {
+            entries: SeededMap::with_capacity(lines + 1, seed ^ Self::SEED_SALT),
+        }
     }
 
     /// Looks up a line's entry.
+    #[inline]
     pub fn get(&self, line: LineAddr) -> Option<DirEntry> {
-        self.entries.get(&line).copied()
+        self.entries.get(line)
     }
 
     /// Registers a line on L2 fill, with `core` as its first sharer.
+    #[inline]
     pub fn insert(&mut self, line: LineAddr, core: u32, modified: bool) {
         self.entries.insert(
             line,
@@ -52,8 +83,9 @@ impl Directory {
 
     /// Adds a reader. Returns the previous dirty owner if it was a
     /// different core (which must then be downgraded).
+    #[inline]
     pub fn add_sharer(&mut self, line: LineAddr, core: u32) -> Option<u32> {
-        let e = self.entries.entry(line).or_default();
+        let (e, _) = self.entries.get_or_insert_with(line, DirEntry::default);
         let prev_owner = e.owner.filter(|&o| o != core);
         if prev_owner.is_some() {
             e.owner = None; // downgraded to shared, L2 copy now up to date
@@ -64,8 +96,9 @@ impl Directory {
 
     /// Makes `core` the exclusive modified owner. Returns the bitmask of
     /// other sharers that must be invalidated.
+    #[inline]
     pub fn make_owner(&mut self, line: LineAddr, core: u32) -> u64 {
-        let e = self.entries.entry(line).or_default();
+        let (e, _) = self.entries.get_or_insert_with(line, DirEntry::default);
         let others = e.other_sharers(core);
         e.sharers = 1 << core;
         e.owner = Some(core);
@@ -74,8 +107,9 @@ impl Directory {
 
     /// Drops `core` from a line's sharers (L1 eviction); clears ownership
     /// if `core` owned it.
+    #[inline]
     pub fn remove_sharer(&mut self, line: LineAddr, core: u32) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.sharers &= !(1u64 << core);
             if e.owner == Some(core) {
                 e.owner = None;
@@ -85,13 +119,23 @@ impl Directory {
 
     /// Removes a line on L2 eviction, returning the sharer mask whose L1
     /// copies must be back-invalidated.
+    #[inline]
     pub fn remove(&mut self, line: LineAddr) -> u64 {
-        self.entries.remove(&line).map(|e| e.sharers).unwrap_or(0)
+        self.entries.remove(line).map(|e| e.sharers).unwrap_or(0)
     }
 
-    /// Iterates all tracked lines and their entries (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DirEntry)> + '_ {
-        self.entries.iter().map(|(&l, &e)| (l, e))
+    /// Iterates all tracked lines and their entries in ascending line
+    /// address order.
+    ///
+    /// The order is *canonical*, not the table's internal layout, so
+    /// MESI invariant walks and state digests are identical across
+    /// seeds, capacities, and the exact insert/remove history that
+    /// produced the contents. Allocates a sorted snapshot — this is an
+    /// inspection API, not a hot path.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DirEntry)> {
+        let mut v: Vec<(LineAddr, DirEntry)> = self.entries.iter().collect();
+        v.sort_unstable_by_key(|&(line, _)| line);
+        v.into_iter()
     }
 
     /// Number of tracked lines.
@@ -168,6 +212,53 @@ mod tests {
         assert_eq!(d.remove(9), 0b1001);
         assert_eq!(d.remove(9), 0);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_layout_independent() {
+        // Same contents via different histories and different seeds must
+        // iterate identically: ascending line order, nothing else.
+        let mut a = Directory::with_capacity(64, 1);
+        let mut b = Directory::with_capacity(1024, 99);
+        for line in [900u64, 3, 512, 77, 41, 600] {
+            a.insert(line, 0, false);
+        }
+        for line in [41u64, 600, 3, 900, 512, 77, 1000] {
+            b.insert(line, 0, false);
+        }
+        b.remove(1000);
+        let va: Vec<_> = a.iter().collect();
+        let vb: Vec<_> = b.iter().collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).all(|w| w[0].0 < w[1].0), "sorted by line");
+    }
+
+    #[test]
+    fn iter_identical_across_identically_seeded_runs() {
+        // Regression for the open-addressing swap: two runs with the
+        // same seed and history iterate in exactly the same order.
+        let build = || {
+            let mut d = Directory::with_capacity(128, 7);
+            let mut x = 0xdead_beefu64;
+            for step in 0..500u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let line = x % 256;
+                match step % 4 {
+                    0 => d.insert(line, (step % 8) as u32, step % 2 == 0),
+                    1 => {
+                        d.add_sharer(line, (step % 8) as u32);
+                    }
+                    2 => {
+                        d.remove(line);
+                    }
+                    _ => d.remove_sharer(line, (step % 8) as u32),
+                }
+            }
+            d.iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -34,12 +34,14 @@ impl MemoryChannels {
         }
     }
 
+    #[inline]
     fn channel_of(&self, line: u64) -> usize {
         (self.hash.hash(line) % self.next_free.len() as u64) as usize
     }
 
     /// A demand fetch issued at cycle `now`: returns the total latency
     /// (queueing + zero-load) until data returns.
+    #[inline]
     pub fn fetch(&mut self, line: u64, now: u64) -> u64 {
         let ch = self.channel_of(line);
         let start = now.max(self.next_free[ch]);
@@ -52,6 +54,7 @@ impl MemoryChannels {
 
     /// A posted write-back issued at cycle `now`: occupies the channel
     /// but does not stall the requester.
+    #[inline]
     pub fn writeback(&mut self, line: u64, now: u64) {
         let ch = self.channel_of(line);
         let start = now.max(self.next_free[ch]);

@@ -5,8 +5,6 @@ use crate::coherence::{cores_in, Directory};
 use crate::config::SimConfig;
 use crate::mem::MemoryChannels;
 use crate::stats::SimStats;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use zcache_core::{ArrayKind, CacheBuilder, DynCache, PolicyKind};
 use zhash::{HashKind, Hasher64, Mix64};
 use zworkloads::{AddressStream, Workload};
@@ -94,7 +92,7 @@ impl System {
             l2_latency,
             l1s,
             banks,
-            dir: Directory::new(),
+            dir: Directory::with_capacity(cfg.l2_lines as usize, cfg.seed),
             mem,
             ports: BankPorts::new(cfg.l2_banks),
             bank_hash: Mix64::new(cfg.seed ^ 0xba2c_u64),
@@ -113,6 +111,12 @@ impl System {
 
     /// Handles one data reference; returns the stall cycles beyond the
     /// single-cycle L1 pipeline.
+    ///
+    /// Steady state performs zero heap allocation: the L1/L2 access
+    /// engines reuse their walk buffers, the directory is a pre-sized
+    /// seeded table, and ports/memory are fixed arrays (verified by
+    /// `tests/alloc_steady_state.rs`).
+    #[inline]
     pub fn access(&mut self, core: u32, line: u64, write: bool, next_use: u64, now: u64) -> u64 {
         let mut stall = 0u64;
         let out = self.l1s[core as usize].access_full(line, write, u64::MAX);
@@ -145,8 +149,7 @@ impl System {
             self.dir.remove_sharer(ev, core);
             if out.evicted_dirty {
                 let b = self.bank_of(ev);
-                if self.banks[b].contains(ev) {
-                    self.banks[b].access_full(ev, true, u64::MAX);
+                if self.banks[b].write_if_present(ev, u64::MAX) {
                     // Posted write-back: occupies the tag port but does
                     // not stall the core.
                     self.ports.background(b, now, 1);
@@ -226,18 +229,34 @@ impl System {
         let mut streams = workload.streams(cores, self.cfg.seed);
         let mut instrs = vec![0u64; cores];
         let mut cycles = vec![0u64; cores];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
-            (0..cores as u32).map(|c| Reverse((0, c))).collect();
+        // Global event order: smallest (cycle, core) first. An argmin
+        // scan over one u64 per core picks exactly the element a
+        // min-heap of (cycle, core) pairs would pop — same total order,
+        // same interleaving — but stays branch-predictable and
+        // allocation-free at CMP core counts. Retired cores park at
+        // `u64::MAX`.
+        let mut next_time = vec![0u64; cores];
+        let mut active = cores;
 
-        while let Some(Reverse((now, core))) = heap.pop() {
-            let c = core as usize;
-            let r = streams[c].next_ref();
-            instrs[c] += u64::from(r.gap);
-            let stall = self.access(core, r.line, r.write, u64::MAX, now);
+        while active > 0 {
+            let mut core = 0usize;
+            let mut now = u64::MAX;
+            for (c, &t) in next_time.iter().enumerate() {
+                if t < now {
+                    now = t;
+                    core = c;
+                }
+            }
+            let r = streams[core].next_ref();
+            instrs[core] += u64::from(r.gap);
+            let stall = self.access(core as u32, r.line, r.write, u64::MAX, now);
             let next = now + u64::from(r.gap) + stall;
-            cycles[c] = next;
-            if instrs[c] < budget {
-                heap.push(Reverse((next, core)));
+            cycles[core] = next;
+            if instrs[core] < budget {
+                next_time[core] = next;
+            } else {
+                next_time[core] = u64::MAX;
+                active -= 1;
             }
         }
 

@@ -10,11 +10,13 @@
 use crate::config::SimConfig;
 use crate::mem::MemoryChannels;
 use crate::stats::SimStats;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use zcache_core::{ArrayKind, CacheBuilder, CacheStats, PolicyKind};
+use zcache_core::{ArrayKind, CacheBuilder, CacheStats, PolicyKind, SeededMap};
 use zhash::{HashKind, Hasher64, Mix64};
-use zworkloads::{AddressStream, Workload};
+use zworkloads::{AddressStream, Workload, ZipfCache};
+
+/// Fixed seed for the next-use oracle's last-seen map (layout never
+/// escapes — only next-use positions do).
+const NEXT_USE_SEED: u64 = 0x0b75_ace1_0f75_ace1;
 
 /// One recorded L2 access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,24 +73,52 @@ impl L2Trace {
     /// Computes, for each reference, the position of the next reference
     /// to the same line (`u64::MAX` if never) — the OPT oracle.
     pub fn next_uses(&self) -> Vec<u64> {
-        let mut next = vec![u64::MAX; self.refs.len()];
-        let mut last: HashMap<u64, u64> = HashMap::new();
-        for (i, r) in self.refs.iter().enumerate().rev() {
-            if let Some(&later) = last.get(&r.line) {
-                next[i] = later;
-            }
-            last.insert(r.line, i as u64);
-        }
+        let mut next = Vec::new();
+        let mut last = SeededMap::with_capacity(1024, NEXT_USE_SEED);
+        self.next_uses_into(&mut next, &mut last);
         next
+    }
+
+    /// Buffer-reusing form of [`L2Trace::next_uses`]: one backward pass
+    /// over the trace, filling `next` (cleared first) and using `last` as
+    /// line → latest-position scratch (also cleared first). Sweeps call
+    /// this once per grid point with long-lived buffers so the oracle
+    /// costs no steady-state allocation.
+    pub fn next_uses_into(&self, next: &mut Vec<u64>, last: &mut SeededMap<u64>) {
+        next.clear();
+        next.resize(self.refs.len(), u64::MAX);
+        last.clear();
+        for (i, r) in self.refs.iter().enumerate().rev() {
+            let (slot, present) = last.get_or_insert_with(r.line, || i as u64);
+            if present {
+                next[i] = *slot;
+                *slot = i as u64;
+            }
+        }
     }
 }
 
 /// Runs `workload` through per-core L1s (no timing-accurate L2) and
 /// records the resulting L2 reference stream.
 ///
-/// Cores are interleaved on a cycle heap with a fixed nominal L1-miss
-/// penalty, so the interleaving is deterministic and design-independent.
+/// Cores are interleaved on a fixed nominal L1-miss penalty, so the
+/// interleaving is deterministic and design-independent.
 pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
+    let mut trace = L2Trace::default();
+    record_trace_into(cfg, workload, &mut ZipfCache::new(), &mut trace);
+    trace
+}
+
+/// Buffer-reusing form of [`record_trace`]: overwrites `trace` in place
+/// (the reference `Vec` keeps its capacity across grid points) and pulls
+/// Zipf tables from `zipf` instead of rebuilding them per call. Produces
+/// exactly the trace [`record_trace`] does.
+pub fn record_trace_into(
+    cfg: &SimConfig,
+    workload: &Workload,
+    zipf: &mut ZipfCache,
+    trace: &mut L2Trace,
+) {
     const NOMINAL_MISS_STALL: u64 = 30;
     let cores = cfg.cores as usize;
     let mut l1s: Vec<_> = (0..cfg.cores)
@@ -104,15 +134,26 @@ pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
                 .build()
         })
         .collect();
-    let mut streams = workload.streams(cores, cfg.seed);
+    let mut streams = workload.streams_cached(cores, cfg.seed, zipf);
     let mut instrs = vec![0u64; cores];
     let mut pending_work = vec![0u32; cores];
-    let mut refs = Vec::new();
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
-        (0..cfg.cores).map(|c| Reverse((0, c))).collect();
+    trace.refs.clear();
+    let refs = &mut trace.refs;
 
-    while let Some(Reverse((now, core))) = heap.pop() {
-        let c = core as usize;
+    // Linear argmin over per-core next-event times: picks the smallest
+    // `(time, core)` pair, the exact order the former binary heap popped.
+    let mut next_time = vec![0u64; cores];
+    let mut active = cores;
+    while active > 0 {
+        let mut core = 0usize;
+        let mut now = u64::MAX;
+        for (c, &t) in next_time.iter().enumerate() {
+            if t < now {
+                now = t;
+                core = c;
+            }
+        }
+        let c = core;
         let r = streams[c].next_ref();
         instrs[c] += u64::from(r.gap);
         pending_work[c] = pending_work[c].saturating_add(r.gap);
@@ -121,7 +162,7 @@ pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
         if out.is_miss() {
             if let (Some(ev), true) = (out.evicted, out.evicted_dirty) {
                 refs.push(TraceRef {
-                    core,
+                    core: core as u32,
                     line: ev,
                     write: true,
                     demand: false,
@@ -129,7 +170,7 @@ pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
                 });
             }
             refs.push(TraceRef {
-                core,
+                core: core as u32,
                 line: r.line,
                 write: r.write,
                 demand: true,
@@ -139,7 +180,10 @@ pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
             next += NOMINAL_MISS_STALL;
         }
         if instrs[c] < cfg.instrs_per_core {
-            heap.push(Reverse((next, core)));
+            next_time[c] = next;
+        } else {
+            next_time[c] = u64::MAX;
+            active -= 1;
         }
     }
 
@@ -147,18 +191,72 @@ pub fn record_trace(cfg: &SimConfig, workload: &Workload) -> L2Trace {
     for l1 in &l1s {
         l1_stats.merge(l1.stats());
     }
-    L2Trace {
-        refs,
-        instructions: instrs.iter().sum(),
-        cores: cfg.cores,
-        l1_stats,
+    trace.instructions = instrs.iter().sum();
+    trace.cores = cfg.cores;
+    trace.l1_stats = l1_stats;
+}
+
+/// Reusable working state for [`replay_with`]: per-core reference
+/// queues, cursors and clocks. One instance per worker amortises the
+/// allocations across every `(design, policy)` replay of a sweep.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    queues: Vec<Vec<u32>>,
+    heads: Vec<usize>,
+    cycles: Vec<u64>,
+    next_time: Vec<u64>,
+}
+
+impl ReplayScratch {
+    /// An empty scratch (buffers grow on first use, then stick).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
 /// Replays a recorded trace against the configured L2 design, with full
 /// timing (bank latency, memory queueing) and next-use annotations so
 /// [`PolicyKind::Opt`] works.
+///
+/// Convenience wrapper over [`replay_with`]: computes the next-use
+/// oracle internally when the policy needs it.
 pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
+    let mut scratch = ReplayScratch::new();
+    if cfg.l2.policy == PolicyKind::Opt {
+        let next_uses = trace.next_uses();
+        replay_with(cfg, trace, Some(&next_uses), &mut scratch)
+    } else {
+        replay_with(cfg, trace, None, &mut scratch)
+    }
+}
+
+/// Replays `trace` like [`replay`], reusing `scratch` across calls and
+/// taking the next-use oracle from the caller.
+///
+/// `next_uses` is only read by [`PolicyKind::Opt`] (the only policy that
+/// consults future knowledge), so callers replaying under other policies
+/// pass `None` and skip the oracle's backward pass entirely; sweeps
+/// replaying one trace under OPT across many designs compute it once via
+/// [`L2Trace::next_uses_into`] and share the slice.
+///
+/// # Panics
+///
+/// Panics if the policy is OPT and `next_uses` is `None` (a silent
+/// `u64::MAX` fallback would degrade OPT to noise), or if `next_uses` is
+/// shorter than the trace.
+pub fn replay_with(
+    cfg: &SimConfig,
+    trace: &L2Trace,
+    next_uses: Option<&[u64]>,
+    scratch: &mut ReplayScratch,
+) -> SimStats {
+    assert!(
+        cfg.l2.policy != PolicyKind::Opt || next_uses.is_some(),
+        "OPT replay requires next-use annotations"
+    );
+    if let Some(n) = next_uses {
+        assert!(n.len() >= trace.refs.len(), "next-use oracle too short");
+    }
     let cores = trace.cores.max(1) as usize;
     let l2_latency = cfg.effective_l2_latency();
     let mut banks: Vec<_> = (0..cfg.l2_banks)
@@ -173,8 +271,17 @@ pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
         })
         .collect();
     let bank_hash = Mix64::new(cfg.seed ^ 0xba2c_u64);
-    let bank_of =
-        |line: u64| -> usize { (bank_hash.hash(line) % u64::from(cfg.l2_banks)) as usize };
+    let nbanks = u64::from(cfg.l2_banks);
+    // Banks are a power of two in every shipped config; mask instead of
+    // divide then (identical value: `h % 2^k == h & (2^k - 1)`).
+    let bank_mask = (nbanks.is_power_of_two()).then(|| nbanks - 1);
+    let bank_of = |line: u64| -> usize {
+        let h = bank_hash.hash(line);
+        match bank_mask {
+            Some(mask) => (h & mask) as usize,
+            None => (h % nbanks) as usize,
+        }
+    };
     let mut mem = MemoryChannels::new(
         cfg.mem_controllers,
         cfg.mem_latency,
@@ -182,25 +289,51 @@ pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
     );
     let mut ports = crate::bankport::BankPorts::new(cfg.l2_banks);
 
-    let next_uses = trace.next_uses();
-
-    // Per-core reference queues, in global order.
-    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); cores];
+    // Per-core reference queues, in global order (buffers reused).
+    if scratch.queues.len() < cores {
+        scratch.queues.resize_with(cores, Vec::new);
+    }
+    let queues = &mut scratch.queues[..cores];
+    for q in queues.iter_mut() {
+        q.clear();
+    }
     for (i, r) in trace.refs.iter().enumerate() {
         queues[r.core as usize].push(i as u32);
     }
-    let mut heads = vec![0usize; cores];
-    let mut cycles = vec![0u64; cores];
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..cores as u32)
-        .filter(|&c| !queues[c as usize].is_empty())
-        .map(|c| Reverse((0, c)))
-        .collect();
+    scratch.heads.clear();
+    scratch.heads.resize(cores, 0);
+    let heads = &mut scratch.heads[..];
+    scratch.cycles.clear();
+    scratch.cycles.resize(cores, 0);
+    let cycles = &mut scratch.cycles[..];
+    scratch.next_time.clear();
+    scratch.next_time.resize(cores, 0);
+    let next_time = &mut scratch.next_time[..];
 
-    while let Some(Reverse((now, core))) = heap.pop() {
-        let c = core as usize;
+    // Linear argmin over per-core next-event times: picks the smallest
+    // `(time, core)` pair, the exact order the former binary heap popped.
+    let mut active = 0usize;
+    for (c, q) in queues.iter().enumerate() {
+        if q.is_empty() {
+            next_time[c] = u64::MAX;
+        } else {
+            next_time[c] = 0;
+            active += 1;
+        }
+    }
+    while active > 0 {
+        let mut c = 0usize;
+        let mut now = u64::MAX;
+        for (i, &t) in next_time.iter().enumerate() {
+            if t < now {
+                now = t;
+                c = i;
+            }
+        }
         let pos = queues[c][heads[c]] as usize;
         heads[c] += 1;
         let r = &trace.refs[pos];
+        let next_use = next_uses.map_or(u64::MAX, |n| n[pos]);
         let mut next = now + u64::from(r.work);
 
         let b = bank_of(r.line);
@@ -208,7 +341,7 @@ pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
             let mut stall = u64::from(cfg.l1_to_l2_latency) + u64::from(l2_latency);
             stall += ports.demand(b, next + stall);
             let ops_before = banks[b].stats().tag_reads + banks[b].stats().tag_writes;
-            let lout = banks[b].access_full(r.line, r.write, next_uses[pos]);
+            let lout = banks[b].access_full(r.line, r.write, next_use);
             let walk_ops = (banks[b].stats().tag_reads + banks[b].stats().tag_writes - ops_before)
                 .saturating_sub(u64::from(cfg.l2.ways)) as u32;
             if walk_ops > 0 {
@@ -223,9 +356,9 @@ pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
             next += stall;
         } else {
             // Posted write-back: touch the L2 copy if still resident,
-            // spill to memory otherwise; never stalls the core.
-            if banks[b].contains(r.line) {
-                banks[b].access_full(r.line, true, next_uses[pos]);
+            // spill to memory otherwise; never stalls the core. The
+            // residence check and the write share one lookup.
+            if banks[b].write_if_present(r.line, next_use) {
                 ports.background(b, next, 1);
             } else {
                 mem.writeback(r.line, next);
@@ -234,7 +367,10 @@ pub fn replay(cfg: &SimConfig, trace: &L2Trace) -> SimStats {
 
         cycles[c] = next;
         if heads[c] < queues[c].len() {
-            heap.push(Reverse((next, core)));
+            next_time[c] = next;
+        } else {
+            next_time[c] = u64::MAX;
+            active -= 1;
         }
     }
 
@@ -368,5 +504,73 @@ mod tests {
         let cfg = tiny_cfg();
         let t = record_trace(&cfg, &wl);
         assert_eq!(replay(&cfg, &t), replay(&cfg, &t));
+    }
+
+    #[test]
+    fn record_into_reused_buffers_matches_fresh() {
+        let cfg = tiny_cfg();
+        let mut zipf = ZipfCache::new();
+        let mut t = L2Trace::default();
+        // Overwrite the same trace with a bigger workload first so the
+        // second recording runs into non-empty, differently-sized buffers.
+        record_trace_into(
+            &cfg,
+            &by_name("canneal", 4, Scale::SMALL).unwrap(),
+            &mut zipf,
+            &mut t,
+        );
+        let wl = by_name("gcc", 4, Scale::SMALL).unwrap();
+        record_trace_into(&cfg, &wl, &mut zipf, &mut t);
+        let fresh = record_trace(&cfg, &wl);
+        assert_eq!(t.refs, fresh.refs);
+        assert_eq!(t.instructions, fresh.instructions);
+        assert_eq!(t.l1_stats, fresh.l1_stats);
+    }
+
+    #[test]
+    fn replay_with_reused_scratch_matches_fresh() {
+        let wl = by_name("omnetpp", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        let mut nu = Vec::new();
+        let mut last = SeededMap::with_capacity(1024, NEXT_USE_SEED);
+        t.next_uses_into(&mut nu, &mut last);
+        assert_eq!(nu, t.next_uses());
+        let mut scratch = ReplayScratch::new();
+        for design in [
+            L2Design::baseline(),
+            L2Design::zcache(4, 3),
+            L2Design::baseline().with_policy(PolicyKind::Opt),
+        ] {
+            let dcfg = cfg.clone().with_l2(design);
+            let oracle = (dcfg.l2.policy == PolicyKind::Opt).then_some(nu.as_slice());
+            let reused = replay_with(&dcfg, &t, oracle, &mut scratch);
+            assert_eq!(reused, replay(&dcfg, &t), "design {design:?}");
+        }
+    }
+
+    #[test]
+    fn non_opt_replay_ignores_next_use_oracle() {
+        // Only OPT consults next-use; handing LRU the oracle (or not)
+        // must not change a single statistic.
+        let wl = by_name("milc", 4, Scale::SMALL).unwrap();
+        let cfg = tiny_cfg();
+        let t = record_trace(&cfg, &wl);
+        let nu = t.next_uses();
+        let mut scratch = ReplayScratch::new();
+        let with = replay_with(&cfg, &t, Some(&nu), &mut scratch);
+        let without = replay_with(&cfg, &t, None, &mut scratch);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    #[should_panic(expected = "OPT replay requires next-use annotations")]
+    fn opt_replay_without_oracle_panics() {
+        let cfg = tiny_cfg().with_l2(L2Design::baseline().with_policy(PolicyKind::Opt));
+        let t = L2Trace {
+            cores: 1,
+            ..Default::default()
+        };
+        replay_with(&cfg, &t, None, &mut ReplayScratch::new());
     }
 }

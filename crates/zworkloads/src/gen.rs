@@ -227,12 +227,59 @@ impl Workload {
     /// Zipf tables are built once per distinct `(lines, s)` and shared
     /// across cores.
     pub fn streams(&self, cores: usize, seed: u64) -> Vec<CoreStream> {
-        let mut zipf_cache: HashMap<(u64, u64), Arc<ZipfTable>> = HashMap::new();
+        self.streams_cached(cores, seed, &mut ZipfCache::new())
+    }
+
+    /// Like [`Workload::streams`], but reuses Zipf tables from `cache`.
+    ///
+    /// Table contents depend only on `(lines, s)` — not on the seed or
+    /// the core — so one cache can serve every workload and grid point of
+    /// a sweep; the streams produced are identical to [`Workload::streams`].
+    /// (Scatter permutations *are* seed-dependent and are always rebuilt.)
+    pub fn streams_cached(
+        &self,
+        cores: usize,
+        seed: u64,
+        cache: &mut ZipfCache,
+    ) -> Vec<CoreStream> {
         (0..cores)
-            .map(|core| {
-                CoreStream::build(self.spec_for_core(core), core as u64, seed, &mut zipf_cache)
-            })
+            .map(|core| CoreStream::build(self.spec_for_core(core), core as u64, seed, cache))
             .collect()
+    }
+}
+
+/// A cache of [`ZipfTable`]s keyed by `(lines, s)`.
+///
+/// Building a Zipf table is `O(lines)`; sweeps replay the same handful of
+/// distributions across dozens of workloads and grid points, so sharing
+/// one cache across [`Workload::streams_cached`] calls amortises that
+/// setup to once per distinct distribution.
+#[derive(Debug, Default)]
+pub struct ZipfCache {
+    tables: HashMap<(u64, u64), Arc<ZipfTable>>,
+}
+
+impl ZipfCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct distributions cached.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    fn get(&mut self, lines: u64, s: f64) -> Arc<ZipfTable> {
+        self.tables
+            .entry((lines, s.to_bits()))
+            .or_insert_with(|| Arc::new(ZipfTable::new(lines, s)))
+            .clone()
     }
 }
 
@@ -334,12 +381,7 @@ pub struct CoreStream {
 }
 
 impl CoreStream {
-    fn build(
-        spec: &CoreSpec,
-        core: u64,
-        seed: u64,
-        zipf_cache: &mut HashMap<(u64, u64), Arc<ZipfTable>>,
-    ) -> Self {
+    fn build(spec: &CoreSpec, core: u64, seed: u64, zipf_cache: &mut ZipfCache) -> Self {
         let mut gens = Vec::with_capacity(spec.components.len());
         let mut cum_weights = Vec::with_capacity(spec.components.len());
         let total: f64 = spec.components.iter().map(|(w, _)| *w).sum();
@@ -354,11 +396,7 @@ impl CoreStream {
                     GenState::Uniform { base, lines }
                 }
                 Component::Zipf { lines, s } | Component::ZipfScattered { lines, s } => {
-                    let key = (lines, s.to_bits());
-                    let table = zipf_cache
-                        .entry(key)
-                        .or_insert_with(|| Arc::new(ZipfTable::new(lines, s)))
-                        .clone();
+                    let table = zipf_cache.get(lines, s);
                     let scatter = matches!(comp, Component::ZipfScattered { .. }).then(|| {
                         assert!(
                             lines <= 1 << 22,
@@ -639,6 +677,28 @@ mod tests {
             (8_500..9_500).contains(&small_region),
             "weight-0.9 component drew {small_region}"
         );
+    }
+
+    #[test]
+    fn cached_streams_match_uncached_and_reuse_tables() {
+        let w = Workload::uniform(
+            "zc",
+            spec(vec![
+                (0.7, Component::Zipf { lines: 500, s: 0.8 }),
+                (0.3, Component::ZipfScattered { lines: 64, s: 0.8 }),
+            ]),
+        );
+        let mut cache = ZipfCache::new();
+        for seed in [3u64, 9, 27] {
+            let mut plain = w.streams(2, seed);
+            let mut cached = w.streams_cached(2, seed, &mut cache);
+            for _ in 0..300 {
+                assert_eq!(plain[0].next_ref(), cached[0].next_ref());
+                assert_eq!(plain[1].next_ref(), cached[1].next_ref());
+            }
+        }
+        // Two distinct (lines, s) pairs across three seeds: built once each.
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod suite;
 pub mod trace_io;
 mod zipf;
 
-pub use gen::{Component, CoreSpec, CoreStream, MemRef, Workload};
+pub use gen::{Component, CoreSpec, CoreStream, MemRef, Workload, ZipfCache};
 pub use zipf::ZipfTable;
 
 /// An infinite, deterministic stream of memory references.
