@@ -6,6 +6,7 @@
 
 use crate::format_table;
 use crate::opts::fig_designs;
+use std::io;
 use zcache_core::{CacheBuilder, PolicyKind};
 use zsim::L2Design;
 use zworkloads::MemRef;
@@ -26,13 +27,39 @@ pub struct TraceRow {
 /// Drives every lineup design with the trace, as a single cache of
 /// `lines` frames.
 pub fn run(refs: &[MemRef], lines: u64, seed: u64) -> Vec<TraceRow> {
-    fig_designs()
+    let (rows, _) = run_streaming(refs.iter().map(|r| Ok(*r)), lines, seed)
+        .expect("in-memory trace cannot fail");
+    rows
+}
+
+/// Streaming variant of [`run`]: feeds each reference to every lineup
+/// design in lockstep as it is parsed, so a multi-gigabyte trace runs
+/// in memory bounded by the caches, not the trace. Returns the rows and
+/// the number of references consumed.
+///
+/// # Errors
+///
+/// Propagates the first reader error (I/O or malformed line) and stops;
+/// references before the error have already been applied.
+pub fn run_streaming<I>(refs: I, lines: u64, seed: u64) -> io::Result<(Vec<TraceRow>, usize)>
+where
+    I: IntoIterator<Item = io::Result<MemRef>>,
+{
+    let mut caches: Vec<(String, zcache_core::DynCache)> = fig_designs()
         .iter()
-        .map(|(label, design)| {
-            let mut cache = build(design, lines, seed);
-            for r in refs {
-                cache.access_full(r.line, r.write, u64::MAX);
-            }
+        .map(|(label, design)| (label.clone(), build(design, lines, seed)))
+        .collect();
+    let mut n = 0usize;
+    for r in refs {
+        let r = r?;
+        n += 1;
+        for (_, cache) in &mut caches {
+            cache.access_full(r.line, r.write, u64::MAX);
+        }
+    }
+    let rows = caches
+        .iter()
+        .map(|(label, cache)| {
             let s = cache.stats();
             TraceRow {
                 design: label.clone(),
@@ -41,7 +68,8 @@ pub fn run(refs: &[MemRef], lines: u64, seed: u64) -> Vec<TraceRow> {
                 avg_relocations: s.avg_relocations(),
             }
         })
-        .collect()
+        .collect();
+    Ok((rows, n))
 }
 
 fn build(design: &L2Design, lines: u64, seed: u64) -> zcache_core::DynCache {

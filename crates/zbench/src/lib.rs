@@ -34,6 +34,7 @@ pub mod exp_fig3;
 pub mod exp_fig4;
 pub mod exp_fig5;
 pub mod exp_perf;
+pub mod exp_serve;
 pub mod exp_table2;
 pub mod exp_trace;
 pub mod opts;

@@ -18,7 +18,9 @@
 //!   dumptrace   Record a workload's L2 stream and export it as a trace file
 //!   check       Differential conformance sweep vs the zoracle reference models
 //!   perf        Access-path throughput (accesses/sec); writes BENCH_access.json
-//!   all         Everything above (except check and perf)
+//!   serve       Sharded service tier benchmark; --chaos runs the fault-injection
+//!               soak matrix and writes BENCH_serve.json
+//!   all         Everything above (except check, perf and serve)
 //!
 //! Options:
 //!   --scale small|paper     cache scale (default small)
@@ -35,17 +37,25 @@
 //!   --lines N               check: cache frames (default 64)
 //!   --ways N                check: ways per design (default 4)
 //!   --digest-every N        check: full-state digest interval (default 1024)
-//!   --smoke                 perf: ~2-second CI configuration
+//!   --smoke                 perf/serve: short CI configuration
 //!   --reps N                perf: timed repetitions per pair; best rep is reported
 //!   --sim                   perf: measure end-to-end zsim throughput instead of
 //!                           the raw array path; writes BENCH_sim.json
 //!   --filter D:P            perf: keep only rows matching design:policy (either
 //!                           side empty = wildcard, e.g. z3: or :lru)
-//!   --out FILE              perf: JSON artifact path (default BENCH_access.json,
-//!                           BENCH_sim.json with --sim)
+//!   --out FILE              perf/serve: JSON artifact path (default
+//!                           BENCH_access.json, BENCH_sim.json with --sim,
+//!                           BENCH_serve.json for serve)
+//!   --chaos                 serve: run the full fault-injection soak matrix
+//!                           (stall, slowdown, drop, burst, poison, mixed,
+//!                           overload) instead of the fault-free baseline
+//!   --workload a|b|c|d      serve: YCSB workload mix (default a)
+//!   --ops N                 serve: operations per soak point
 //!
 //! `check` exits 1 on divergence, after delta-debugging the failing
-//! stream to a minimal repro and writing it to tests/corpus/.
+//! stream to a minimal repro and writing it to tests/corpus/. `serve
+//! --chaos` exits 1 on invariant violations, after shrinking each
+//! failing fault schedule and writing the repro to tests/corpus/.
 //! ```
 
 use zbench::opts::ExpOpts;
@@ -57,10 +67,21 @@ use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
 const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
-                     conflicts|trace|dumptrace|check|perf|all> [--scale small|paper] [--cores N] \
-                     [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] [--jobs N] \
-                     [--accesses N] [--design NAME] [--lines N] [--ways N] [--digest-every N] \
-                     [--smoke] [--reps N] [--sim] [--filter D:P] [--out FILE]";
+                     conflicts|trace|dumptrace|check|perf|serve|all> [--scale small|paper] \
+                     [--cores N] [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] \
+                     [--jobs N] [--accesses N] [--design NAME] [--lines N] [--ways N] \
+                     [--digest-every N] [--smoke] [--reps N] [--sim] [--filter D:P] [--out FILE] \
+                     [--chaos] [--workload a|b|c|d] [--ops N]";
+
+/// Parses a numeric flag value; on failure prints the offending flag
+/// and value plus the usage line and exits 2 instead of panicking.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: expected an integer, got {value:?}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +98,9 @@ fn main() {
     let mut reps_arg: Option<usize> = None;
     let mut smoke = false;
     let mut sim = false;
+    let mut chaos = false;
+    let mut workload_arg: Option<String> = None;
+    let mut ops_arg: Option<u64> = None;
     let mut filter_arg: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
@@ -108,16 +132,15 @@ fn main() {
                 i += 2;
             }
             "--cores" => {
-                opts.cores = take("--cores").parse().expect("--cores: integer");
+                opts.cores = parse_num("--cores", &take("--cores"));
                 i += 2;
             }
             "--instrs" => {
-                opts.instrs_per_core = take("--instrs").parse().expect("--instrs: integer");
+                opts.instrs_per_core = parse_num("--instrs", &take("--instrs"));
                 i += 2;
             }
             "--workloads" => {
-                opts.max_workloads =
-                    Some(take("--workloads").parse().expect("--workloads: integer"));
+                opts.max_workloads = Some(parse_num("--workloads", &take("--workloads")));
                 i += 2;
             }
             "--policy" => {
@@ -127,7 +150,7 @@ fn main() {
                 i += 2;
             }
             "--accesses" => {
-                check_opts.accesses = take("--accesses").parse().expect("--accesses: integer");
+                check_opts.accesses = parse_num("--accesses", &take("--accesses"));
                 accesses_arg = Some(check_opts.accesses);
                 i += 2;
             }
@@ -139,12 +162,24 @@ fn main() {
                 sim = true;
                 i += 1;
             }
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+            }
+            "--workload" => {
+                workload_arg = Some(take("--workload"));
+                i += 2;
+            }
+            "--ops" => {
+                ops_arg = Some(parse_num("--ops", &take("--ops")));
+                i += 2;
+            }
             "--filter" => {
                 filter_arg = Some(take("--filter"));
                 i += 2;
             }
             "--reps" => {
-                reps_arg = Some(take("--reps").parse().expect("--reps: integer"));
+                reps_arg = Some(parse_num("--reps", &take("--reps")));
                 i += 2;
             }
             "--out" => {
@@ -156,25 +191,23 @@ fn main() {
                 i += 2;
             }
             "--lines" => {
-                check_opts.lines = take("--lines").parse().expect("--lines: integer");
+                check_opts.lines = parse_num("--lines", &take("--lines"));
                 i += 2;
             }
             "--ways" => {
-                check_opts.ways = take("--ways").parse().expect("--ways: integer");
+                check_opts.ways = parse_num("--ways", &take("--ways"));
                 i += 2;
             }
             "--digest-every" => {
-                check_opts.digest_every = take("--digest-every")
-                    .parse()
-                    .expect("--digest-every: integer");
+                check_opts.digest_every = parse_num("--digest-every", &take("--digest-every"));
                 i += 2;
             }
             "--seed" => {
-                opts.seed = take("--seed").parse().expect("--seed: integer");
+                opts.seed = parse_num("--seed", &take("--seed"));
                 i += 2;
             }
             "--jobs" => {
-                opts.jobs = take("--jobs").parse().expect("--jobs: integer");
+                opts.jobs = parse_num("--jobs", &take("--jobs"));
                 i += 2;
             }
             other => {
@@ -261,14 +294,16 @@ fn main() {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(2);
             });
-            let refs = zworkloads::trace_io::read_trace(std::io::BufReader::new(file))
+            // Stream the trace through the lineup in lockstep: memory
+            // stays bounded by the caches even for multi-gigabyte files.
+            let reader = zworkloads::trace_io::TraceReader::new(std::io::BufReader::new(file));
+            let lines = opts.scale.l2_lines / 8;
+            let (rows, trace_len) = zbench::exp_trace::run_streaming(reader, lines, opts.seed)
                 .unwrap_or_else(|e| {
-                    eprintln!("cannot parse {path}: {e}");
+                    eprintln!("cannot read {path}: {e}");
                     std::process::exit(2);
                 });
-            let lines = opts.scale.l2_lines / 8;
-            let rows = zbench::exp_trace::run(&refs, lines, opts.seed);
-            println!("{}", zbench::exp_trace::report(&rows, refs.len(), lines));
+            println!("{}", zbench::exp_trace::report(&rows, trace_len, lines));
         }
         "check" => {
             check_opts.seed = opts.seed;
@@ -343,6 +378,14 @@ fn main() {
                 println!("wrote {path}");
             }
         }
+        "serve" => serve(
+            &opts,
+            chaos,
+            smoke,
+            workload_arg.as_deref(),
+            ops_arg,
+            out_path.as_deref(),
+        ),
         "all" => {
             table1(&opts);
             println!("{}", exp_table2::report(&exp_table2::run()));
@@ -368,6 +411,85 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Runs the zserve service-tier benchmark; with `chaos`, the full
+/// fault-injection soak matrix. On invariant violations, writes each
+/// shrunk fault schedule to `tests/corpus/` and exits 1, mirroring
+/// `check`'s divergence workflow.
+fn serve(
+    opts: &ExpOpts,
+    chaos: bool,
+    smoke: bool,
+    workload: Option<&str>,
+    ops: Option<u64>,
+    out: Option<&str>,
+) {
+    let mut cfg = if smoke {
+        zserve::ServeConfig::default().smoke()
+    } else {
+        zserve::ServeConfig::default()
+    };
+    cfg.seed = opts.seed;
+    let records = cfg.spec.record_count;
+    cfg.spec = match workload.unwrap_or("a") {
+        "a" => zworkloads::ycsb::YcsbSpec::workload_a(),
+        "b" => zworkloads::ycsb::YcsbSpec::workload_b(),
+        "c" => zworkloads::ycsb::YcsbSpec::workload_c(),
+        "d" => zworkloads::ycsb::YcsbSpec::workload_d(),
+        other => {
+            eprintln!("unknown workload {other:?} (a|b|c|d)");
+            std::process::exit(2);
+        }
+    }
+    .records(records);
+    if let Some(n) = ops {
+        cfg.total_ops = n;
+        // Leave generous virtual-time headroom so a heavier point is
+        // reported as livelocked only if it genuinely stops draining.
+        cfg.tick_limit = cfg.issue_horizon() * 4 + 512;
+    }
+    let mode = if chaos {
+        zbench::exp_serve::ServeMode::Chaos
+    } else {
+        zbench::exp_serve::ServeMode::Baseline
+    };
+    // Full runs sweep four seeds per schedule; smoke keeps CI short.
+    let seeds: Vec<u64> = if smoke {
+        vec![cfg.seed]
+    } else {
+        (cfg.seed..cfg.seed + 4).collect()
+    };
+    let soak = zbench::exp_serve::run(&cfg, &seeds, mode, opts.jobs, chaos);
+    println!("{}", zbench::exp_serve::report(&soak, &cfg));
+
+    let path = out.unwrap_or("BENCH_serve.json");
+    let json = zbench::exp_serve::to_json(&soak, &cfg, &seeds);
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+
+    if soak.violations() > 0 {
+        let corpus = std::path::Path::new("tests/corpus");
+        if let Err(e) = std::fs::create_dir_all(corpus) {
+            eprintln!("cannot create {}: {e}", corpus.display());
+            std::process::exit(1);
+        }
+        for row in soak.rows.iter().filter(|r| !r.violations.is_empty()) {
+            let Some(repro) = &row.repro else { continue };
+            let file = corpus.join(format!("serve_violation_{}_{}.txt", row.schedule, row.seed));
+            match std::fs::write(&file, repro) {
+                Ok(()) => eprintln!(
+                    "  wrote shrunk fault schedule to {} (replay with the soak corpus test)",
+                    file.display()
+                ),
+                Err(e) => eprintln!("  failed to write repro {}: {e}", file.display()),
+            }
+        }
+        std::process::exit(1);
     }
 }
 

@@ -6,15 +6,21 @@
 //! it improves performance, saving cache bandwidth and energy when high
 //! associativity is not needed."
 //!
-//! [`AdaptiveZCache`] implements that scheme with *shadow-tag dueling*
-//! (the sampling idea behind set dueling / utility monitors): two small
-//! shadow tag arrays — one at the minimum walk (skew-associative), one at
-//! the full walk — observe a hash-sampled slice of the access stream and
-//! run the same replacement policy as the main cache. The difference in
-//! their miss counts measures exactly what the extra replacement
-//! candidates are worth on the current phase; the main cache's walk
-//! budget follows that measurement. Counters age geometrically so the
-//! duel tracks phase changes without drowning in per-window noise.
+//! The machinery is *shadow-tag dueling* (the sampling idea behind set
+//! dueling / utility monitors), packaged as a reusable controller,
+//! [`ShadowDuel`]: two small shadow tag arrays — one at the minimum walk
+//! (skew-associative), one at the full walk — observe a hash-sampled
+//! slice of the access stream and run the same replacement policy as the
+//! main cache. The difference in their miss counts measures exactly what
+//! the extra replacement candidates are worth on the current phase; the
+//! recommended walk budget follows that measurement. Counters age
+//! geometrically so the duel tracks phase changes without drowning in
+//! per-window noise.
+//!
+//! Two consumers exist today: [`AdaptiveZCache`] wires a duel straight
+//! into a `Cache<ZArray, P>` (this module), and the `zserve` service
+//! tier's overload controller feeds per-shard duels and clamps their
+//! recommendation further when request queues back up.
 
 use crate::array::{CacheArray, ZArray};
 use crate::cache::Cache;
@@ -23,7 +29,7 @@ use crate::replacement_candidates;
 use crate::types::LineAddr;
 use zhash::{Hasher64, Mix64};
 
-/// Tuning knobs for [`AdaptiveZCache`].
+/// Tuning knobs for [`ShadowDuel`] / [`AdaptiveZCache`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// Sampled accesses between budget re-evaluations.
@@ -52,25 +58,30 @@ impl Default for AdaptiveConfig {
     }
 }
 
-/// An adaptive-walk zcache: a [`Cache`] over a [`ZArray`] whose
-/// candidate budget follows a shadow-tag duel between the minimum and
-/// the maximum walk depth.
+/// A reusable shadow-tag duel: observes a sampled address stream and
+/// recommends a zcache walk budget (in replacement candidates) for a
+/// main array of the given geometry.
+///
+/// The duel owns its two shadow caches and the aged miss counters; it
+/// knows nothing about the array it steers, so one duel can drive a
+/// [`Cache`] directly ([`AdaptiveZCache`]) or feed a higher-level
+/// controller that mixes in other signals (e.g. queue depth under
+/// overload, as the `zserve` service tier does).
 ///
 /// # Examples
 ///
 /// ```
-/// use zcache_core::{AdaptiveConfig, AdaptiveZCache, FullLru, ZArray};
+/// use zcache_core::{AdaptiveConfig, FullLru, ShadowDuel};
 ///
-/// let array = ZArray::new(1 << 12, 4, 3, 1); // up to 52 candidates
-/// let mut cache = AdaptiveZCache::new(array, FullLru::new, AdaptiveConfig::default());
-/// for addr in 0..50_000u64 {
-///     cache.access(addr % 20_000);
+/// let mut duel = ShadowDuel::for_geometry(1 << 12, 4, 3, FullLru::new,
+///                                         AdaptiveConfig::default());
+/// for addr in 0..100_000u64 {
+///     duel.observe(addr); // no-reuse stream: high walk is worthless
 /// }
-/// assert!(cache.current_budget() >= 4 && cache.current_budget() <= 52);
+/// assert_eq!(duel.budget(), 4);
 /// ```
 #[derive(Debug, Clone)]
-pub struct AdaptiveZCache<P> {
-    inner: Cache<ZArray, P>,
+pub struct ShadowDuel<P> {
     cfg: AdaptiveConfig,
     shadow_shallow: Cache<ZArray, P>,
     shadow_deep: Cache<ZArray, P>,
@@ -91,24 +102,27 @@ pub struct AdaptiveZCache<P> {
     adaptations: u64,
 }
 
-impl<P: ReplacementPolicy> AdaptiveZCache<P> {
-    /// Wraps an array with an adaptive controller; `make_policy` builds
-    /// the replacement policy for a given frame count (used for the main
-    /// cache and both shadows, so the duel reflects the real policy).
-    ///
-    /// The budget starts at the full configured depth.
+impl<P: ReplacementPolicy> ShadowDuel<P> {
+    /// Builds a duel for a main array of `lines` frames, `ways` ways and
+    /// `levels` walk levels; `make_policy` builds the replacement policy
+    /// for a given frame count (used for both shadows, so the duel
+    /// reflects the real policy). The recommended budget starts at the
+    /// full configured depth.
     ///
     /// # Panics
     ///
-    /// Panics if the array has fewer than `4 × ways` frames (too small
-    /// to derive shadow arrays).
-    pub fn new<F: Fn(u64) -> P>(array: ZArray, make_policy: F, cfg: AdaptiveConfig) -> Self {
-        let ways = array.ways();
-        let levels = array.levels();
+    /// Panics if the geometry has fewer than `4 × ways` frames (too
+    /// small to derive shadow arrays).
+    pub fn for_geometry<F: Fn(u64) -> P>(
+        lines: u64,
+        ways: u32,
+        levels: u32,
+        make_policy: F,
+        cfg: AdaptiveConfig,
+    ) -> Self {
         let max_budget = replacement_candidates(ways, levels).min(u64::from(u32::MAX)) as u32;
         let mid_budget =
             replacement_candidates(ways, 2.min(levels)).min(u64::from(max_budget)) as u32;
-        let lines = array.lines();
         assert!(
             lines >= 4 * u64::from(ways),
             "array too small for shadow sampling"
@@ -133,7 +147,6 @@ impl<P: ReplacementPolicy> AdaptiveZCache<P> {
         );
 
         Self {
-            inner: Cache::new(array, make_policy(lines)),
             cfg,
             shadow_shallow,
             shadow_deep,
@@ -154,21 +167,24 @@ impl<P: ReplacementPolicy> AdaptiveZCache<P> {
         }
     }
 
-    /// Performs one access, re-evaluating the walk budget at window
-    /// boundaries.
-    pub fn access(&mut self, addr: LineAddr) -> crate::cache::AccessOutcome {
-        if self.sampler.hash(addr) & self.sample_mask == 0 {
-            self.shadow_shallow.access(addr);
-            self.shadow_deep.access(addr);
-            self.window_samples += 1;
-            if self.window_samples >= self.cfg.window {
-                self.decide();
-            }
+    /// Feeds one access to the duel. Sampled addresses exercise both
+    /// shadows; at window boundaries the recommendation is re-evaluated.
+    /// Returns `Some(new_budget)` exactly when the recommendation
+    /// changed, so callers can forward it to the array they steer.
+    pub fn observe(&mut self, addr: LineAddr) -> Option<u32> {
+        if self.sampler.hash(addr) & self.sample_mask != 0 {
+            return None;
         }
-        self.inner.access(addr)
+        self.shadow_shallow.access(addr);
+        self.shadow_deep.access(addr);
+        self.window_samples += 1;
+        if self.window_samples >= self.cfg.window {
+            return self.decide();
+        }
+        None
     }
 
-    fn decide(&mut self) {
+    fn decide(&mut self) -> Option<u32> {
         let shallow = self.shadow_shallow.stats().misses - self.prev_shallow_misses;
         let deep = self.shadow_deep.stats().misses - self.prev_deep_misses;
         self.prev_shallow_misses = self.shadow_shallow.stats().misses;
@@ -198,19 +214,96 @@ impl<P: ReplacementPolicy> AdaptiveZCache<P> {
         };
         if target != self.budget {
             self.budget = target;
-            self.inner.array_mut().set_max_candidates(target);
             self.adaptations += 1;
+            Some(target)
+        } else {
+            None
         }
+    }
+
+    /// The currently recommended candidate budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// The `(min, mid, max)` budget tiers the duel chooses between.
+    pub fn tiers(&self) -> (u32, u32, u32) {
+        (self.min_budget, self.mid_budget, self.max_budget)
+    }
+
+    /// Number of recommendation changes so far.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Shadow miss counts so far, `(shallow, deep)` — diagnostics.
+    pub fn shadow_misses(&self) -> (u64, u64) {
+        (
+            self.shadow_shallow.stats().misses,
+            self.shadow_deep.stats().misses,
+        )
+    }
+}
+
+/// An adaptive-walk zcache: a [`Cache`] over a [`ZArray`] whose
+/// candidate budget follows a [`ShadowDuel`] between the minimum and
+/// the maximum walk depth.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::{AdaptiveConfig, AdaptiveZCache, FullLru, ZArray};
+///
+/// let array = ZArray::new(1 << 12, 4, 3, 1); // up to 52 candidates
+/// let mut cache = AdaptiveZCache::new(array, FullLru::new, AdaptiveConfig::default());
+/// for addr in 0..50_000u64 {
+///     cache.access(addr % 20_000);
+/// }
+/// assert!(cache.current_budget() >= 4 && cache.current_budget() <= 52);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveZCache<P> {
+    inner: Cache<ZArray, P>,
+    duel: ShadowDuel<P>,
+}
+
+impl<P: ReplacementPolicy> AdaptiveZCache<P> {
+    /// Wraps an array with an adaptive controller; `make_policy` builds
+    /// the replacement policy for a given frame count (used for the main
+    /// cache and both shadows, so the duel reflects the real policy).
+    ///
+    /// The budget starts at the full configured depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has fewer than `4 × ways` frames (too small
+    /// to derive shadow arrays).
+    pub fn new<F: Fn(u64) -> P>(array: ZArray, make_policy: F, cfg: AdaptiveConfig) -> Self {
+        let lines = array.lines();
+        let duel = ShadowDuel::for_geometry(lines, array.ways(), array.levels(), &make_policy, cfg);
+        Self {
+            inner: Cache::new(array, make_policy(lines)),
+            duel,
+        }
+    }
+
+    /// Performs one access, re-evaluating the walk budget at window
+    /// boundaries.
+    pub fn access(&mut self, addr: LineAddr) -> crate::cache::AccessOutcome {
+        if let Some(budget) = self.duel.observe(addr) {
+            self.inner.array_mut().set_max_candidates(budget);
+        }
+        self.inner.access(addr)
     }
 
     /// The current candidate budget.
     pub fn current_budget(&self) -> u32 {
-        self.budget
+        self.duel.budget()
     }
 
     /// Number of budget changes performed.
     pub fn adaptations(&self) -> u64 {
-        self.adaptations
+        self.duel.adaptations()
     }
 
     /// The wrapped cache (for statistics).
@@ -220,10 +313,7 @@ impl<P: ReplacementPolicy> AdaptiveZCache<P> {
 
     /// Shadow miss counts so far, `(shallow, deep)` — diagnostics.
     pub fn shadow_misses(&self) -> (u64, u64) {
-        (
-            self.shadow_shallow.stats().misses,
-            self.shadow_deep.stats().misses,
-        )
+        self.duel.shadow_misses()
     }
 }
 
@@ -352,6 +442,32 @@ mod tests {
             fixed_deep.stats().miss_rate(),
         );
         assert!(a <= d * 1.05, "adaptive {a} far above fixed deep {d}");
+    }
+
+    #[test]
+    fn standalone_duel_matches_adaptive_cache_budget() {
+        // The extracted controller and the wired-in cache must make the
+        // same sequence of recommendations for the same stream.
+        let mut duel = ShadowDuel::for_geometry(
+            1024,
+            4,
+            3,
+            FullLru::new,
+            AdaptiveConfig {
+                window: 256,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let mut c = adaptive_lru(1024);
+        let mut rng = SplitMix64::new(11);
+        for i in 0..200_000u64 {
+            let addr = if i % 3 == 0 { rng.next_below(600) } else { i };
+            duel.observe(addr);
+            c.access(addr);
+            assert_eq!(duel.budget(), c.current_budget(), "step {i}");
+        }
+        assert_eq!(duel.adaptations(), c.adaptations());
+        assert_eq!(duel.tiers(), (4, 16, 52));
     }
 
     #[test]

@@ -378,6 +378,34 @@ macro_rules! delegate {
     };
 }
 
+impl AnyArray {
+    /// Adjusts the zcache walk-budget cap at run time (clamped to at
+    /// least the way count); returns whether the array has one.
+    /// Non-zcache arrays ignore the call — their candidate count is
+    /// structural — so runtime controllers can steer a [`DynCache`]
+    /// without matching on the array kind.
+    ///
+    /// [`DynCache`]: crate::DynCache
+    pub fn set_max_candidates(&mut self, max: u32) -> bool {
+        match self {
+            AnyArray::ZCache(z) => {
+                z.set_max_candidates(max);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current zcache candidate cap (`u32::MAX` when unlimited), or
+    /// `None` for arrays without a walk budget.
+    pub fn max_candidates(&self) -> Option<u32> {
+        match self {
+            AnyArray::ZCache(z) => Some(z.max_candidates()),
+            _ => None,
+        }
+    }
+}
+
 impl CacheArray for AnyArray {
     #[inline]
     fn lines(&self) -> u64 {

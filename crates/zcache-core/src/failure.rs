@@ -1,0 +1,84 @@
+//! Typed failure events for fault-isolated cache containers.
+//!
+//! A service tier that wraps cache arrays (one per shard) must survive a
+//! shard blowing up without taking the process down: the shard executor
+//! runs cache operations under `std::panic::catch_unwind` and converts
+//! the opaque panic payload into a [`PanicFailure`] — a plain value that
+//! can be logged, counted, asserted on in tests, and attached to an
+//! error reply. Keeping the type here (rather than in the service crate)
+//! lets every layer that isolates cache code — servers, harnesses,
+//! differential checkers — speak the same failure vocabulary.
+
+use std::any::Any;
+use std::fmt;
+
+/// A panic caught at a cache-container boundary, reduced to data.
+///
+/// # Examples
+///
+/// ```
+/// use zcache_core::PanicFailure;
+///
+/// let payload = std::panic::catch_unwind(|| panic!("poisoned walk"))
+///     .expect_err("the closure panics");
+/// let failure = PanicFailure::from_payload("shard 3", payload);
+/// assert_eq!(failure.context, "shard 3");
+/// assert_eq!(failure.message, "poisoned walk");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicFailure {
+    /// Where the panic was caught (e.g. a shard label).
+    pub context: String,
+    /// The panic message, or `"<non-string panic payload>"` when the
+    /// payload was neither `&str` nor `String`.
+    pub message: String,
+}
+
+impl PanicFailure {
+    /// Converts a payload returned by `catch_unwind` into a typed event.
+    pub fn from_payload(context: impl Into<String>, payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        Self {
+            context: context.into(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for PanicFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "panic in {}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for PanicFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_str_and_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("plain")).unwrap_err();
+        assert_eq!(PanicFailure::from_payload("c", p).message, "plain");
+        let p = std::panic::catch_unwind(|| panic!("{}", String::from("fmt"))).unwrap_err();
+        assert_eq!(PanicFailure::from_payload("c", p).message, "fmt");
+    }
+
+    #[test]
+    fn tolerates_opaque_payloads() {
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        let f = PanicFailure::from_payload("shard 0", p);
+        assert_eq!(f.message, "<non-string panic payload>");
+        assert_eq!(
+            f.to_string(),
+            "panic in shard 0: <non-string panic payload>"
+        );
+    }
+}

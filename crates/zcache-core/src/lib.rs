@@ -50,13 +50,15 @@ mod adaptive;
 mod array;
 mod assoc;
 mod cache;
+mod failure;
 mod repl;
 pub mod seeded_map;
 mod stats;
 mod types;
 mod victim;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveZCache};
+pub use adaptive::{AdaptiveConfig, AdaptiveZCache, ShadowDuel};
+pub use failure::PanicFailure;
 pub use victim::VictimCache;
 
 pub use array::{

@@ -1,0 +1,86 @@
+//! Property test: `SeededMap` survives interleaved insert/delete storms.
+//!
+//! The zserve shard directory (client pending-op table) leans on
+//! `SeededMap`'s backward-shift deletion: every timeout/retry cycle
+//! removes and re-inserts entries, so probe chains churn constantly. A
+//! deletion bug would silently corrupt lookups long after the faulty
+//! remove. This test drives randomized storms — bursts of inserts, then
+//! bursts of deletes, interleaved point ops — against a `BTreeMap`
+//! model and checks full agreement at every phase boundary.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use zcache_core::SeededMap;
+
+fn check_agreement(map: &SeededMap<u64>, model: &BTreeMap<u64, u64>, phase: &str) {
+    assert_eq!(map.len(), model.len(), "{phase}: length drift");
+    for (&k, &v) in model {
+        assert_eq!(map.get(k), Some(v), "{phase}: lost key {k}");
+    }
+    let mut seen: Vec<(u64, u64)> = map.iter().collect();
+    seen.sort_unstable();
+    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(seen, want, "{phase}: iter disagrees with model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn insert_delete_storms_preserve_lookups(
+        seed in 0u64..1_000_000,
+        key_space in 16u64..400,
+        storms in proptest::collection::vec((0u8..3, 1usize..120), 1..24),
+    ) {
+        let mut map: SeededMap<u64> = SeededMap::with_capacity(4, seed);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        // Deterministic key stream derived from the case inputs.
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next_key = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % key_space
+        };
+        for (i, &(kind, len)) in storms.iter().enumerate() {
+            match kind {
+                // Insert storm: hammer keys in, overwriting repeats.
+                0 => {
+                    for step in 0..len {
+                        let k = next_key();
+                        let v = (i * 1_000 + step) as u64;
+                        prop_assert_eq!(map.insert(k, v), model.insert(k, v),
+                                        "insert storm {} step {}", i, step);
+                    }
+                }
+                // Delete storm: remove whatever the stream names,
+                // present or not (backward-shift must handle both).
+                1 => {
+                    for step in 0..len {
+                        let k = next_key();
+                        prop_assert_eq!(map.remove(k), model.remove(&k),
+                                        "delete storm {} step {}", i, step);
+                    }
+                }
+                // Interleaved point ops: tightest churn on probe chains.
+                _ => {
+                    for step in 0..len {
+                        let k = next_key();
+                        if step % 2 == 0 {
+                            let v = k.wrapping_mul(31) + i as u64;
+                            prop_assert_eq!(map.insert(k, v), model.insert(k, v));
+                        } else {
+                            prop_assert_eq!(map.remove(k), model.remove(&k));
+                        }
+                    }
+                }
+            }
+            check_agreement(&map, &model, &format!("after storm {i}"));
+        }
+        // Drain completely: every removal must still find its entry.
+        let keys: Vec<u64> = model.keys().copied().collect();
+        for k in keys {
+            prop_assert_eq!(map.remove(k), model.remove(&k), "drain {}", k);
+        }
+        prop_assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! `zserve`: a fault-injected, self-degrading sharded cache service
+//! tier over the zcache arrays.
+//!
+//! The ZCache paper's pitch is that associativity comes from the
+//! *replacement process*, not from ways — which makes the walk budget a
+//! runtime knob. This crate builds the system that actually turns the
+//! knob: a service tier of N shards (one zcache each, seeded-hash shard
+//! selection), bounded per-shard queues, and a client with timeouts,
+//! bounded exponential-backoff retries, optional hedged requests, and
+//! admission control. Under overload, a shard sheds load by walking
+//! shorter — reusing the shadow-tag dueling machinery
+//! ([`zcache_core::ShadowDuel`]) and dropping its replacement-candidate
+//! budget toward the skew-associative floor, which raises service
+//! throughput at a bounded cost in hit rate.
+//!
+//! Everything runs in deterministic virtual time, wrapped in a chaos
+//! layer: a seeded [`FaultPlan`] injects shard stalls, slowdowns,
+//! dropped responses, queue-clamp bursts, and shard poisoning (a panic
+//! inside the cache operation, caught per shard and converted to a
+//! typed [`zcache_core::PanicFailure`], followed by a cold rebuild).
+//! The [`soak`] module runs a schedule matrix against invariants —
+//! exactly-once acks, liveness, and digest-identical behaviour under
+//! timing-transparent faults — and shrinks any failing schedule to a
+//! minimal text repro.
+//!
+//! # Examples
+//!
+//! ```
+//! use zserve::{FaultMenu, FaultPlan, ServeConfig, ZServe};
+//!
+//! let cfg = ServeConfig::default().smoke();
+//! let plan = FaultPlan::generate(7, cfg.shards, cfg.issue_horizon(), 96, FaultMenu::all());
+//! let report = ZServe::new(cfg, plan).run();
+//! assert_eq!(report.stats.acked, report.stats.ops_issued);
+//! assert_eq!(report.stats.failed, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod service;
+mod shard;
+pub mod soak;
+mod stats;
+
+pub use fault::{FaultEvent, FaultKind, FaultMenu, FaultPlan};
+pub use service::{ServeConfig, ServeReport, ZServe};
+pub use shard::{EnqueueOutcome, Reply, ReplyStatus, Request, Shard, ShardConfig, ShardCounters};
+pub use stats::{LatencySummary, ServeStats};

@@ -1,0 +1,151 @@
+//! Service-side counters and latency percentiles.
+//!
+//! All latencies are in virtual ticks, so every number here is
+//! deterministic and safe to pin in a checked-in benchmark report.
+
+/// Summary of a latency sample set: percentiles by exact sort (the
+/// sample counts here are small enough that a histogram sketch would
+/// only add noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median latency in ticks.
+    pub p50: u64,
+    /// 95th-percentile latency in ticks.
+    pub p95: u64,
+    /// 99th-percentile latency in ticks.
+    pub p99: u64,
+    /// Worst observed latency in ticks.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set. Sorts a copy; empty input yields the
+    /// all-zero summary.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: u64| {
+            // Nearest-rank percentile: smallest sample with at least
+            // p% of the mass at or below it.
+            let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+            sorted[rank - 1]
+        };
+        Self {
+            count: sorted.len() as u64,
+            p50: pct(50),
+            p95: pct(95),
+            p99: pct(99),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Everything a soak run counts. Exact-once delivery is checked from
+/// these: `acked` must equal the ops issued, `duplicate_acks` and
+/// `lost` must be zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Operations the client submitted (first attempts only).
+    pub ops_issued: u64,
+    /// Operations acknowledged exactly once.
+    pub acked: u64,
+    /// Acks delivered for an already-acked operation (hedge + retry
+    /// races; must stay observable-as-zero at the client — duplicates
+    /// are detected and suppressed, but counted here).
+    pub duplicate_acks: u64,
+    /// Operations that exhausted retries or hit the deadline without an
+    /// ack.
+    pub failed: u64,
+    /// Cache hits across all shards.
+    pub hits: u64,
+    /// Cache misses across all shards.
+    pub misses: u64,
+    /// Requests bounced by shard queue-full rejection.
+    pub queue_rejections: u64,
+    /// Requests bounced by client-side admission control (inflight
+    /// limit).
+    pub admission_rejections: u64,
+    /// Retry attempts sent (beyond first attempts).
+    pub retries: u64,
+    /// Hedged (duplicate, racing) requests sent.
+    pub hedges: u64,
+    /// Requests that timed out waiting for a reply.
+    pub timeouts: u64,
+    /// Successful shard replies discarded by an active drop fault.
+    pub dropped_replies: u64,
+    /// Shard crashes caught and converted to typed failures.
+    pub shard_crashes: u64,
+    /// Cold shard rebuilds completed.
+    pub shard_rebuilds: u64,
+    /// Walk-budget reductions applied by overload control.
+    pub budget_reductions: u64,
+    /// Walk-budget restorations after load receded.
+    pub budget_restorations: u64,
+    /// Completed-op latency samples, in ticks (first submit → ack).
+    pub latencies: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Latency percentile summary over all completed ops.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.latencies)
+    }
+
+    /// Hit fraction of all cache lookups (0 when nothing completed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_samples(&[7]);
+        assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (1, 7, 7, 7, 7));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let s = LatencySummary::from_samples(&[9, 1, 5]);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        let mut st = ServeStats::default();
+        assert_eq!(st.hit_rate(), 0.0);
+        st.hits = 3;
+        st.misses = 1;
+        assert!((st.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -35,6 +35,7 @@
 mod gen;
 pub mod suite;
 pub mod trace_io;
+pub mod ycsb;
 mod zipf;
 
 pub use gen::{Component, CoreSpec, CoreStream, MemRef, Workload, ZipfCache};

@@ -16,25 +16,72 @@
 use crate::{AddressStream, MemRef};
 use std::io::{self, BufRead, Write};
 
-/// Parses a trace from a reader.
+/// Parses a trace from a reader, materializing every reference.
+///
+/// Convenience wrapper over [`TraceReader`] for traces that fit in
+/// memory; multi-gigabyte traces should iterate a [`TraceReader`]
+/// directly (constant memory, one [`MemRef`] at a time).
 ///
 /// # Errors
 ///
 /// Returns an error on I/O failure or on a malformed line (bad
 /// read/write tag, non-hex address, or non-numeric gap).
 pub fn read_trace<R: BufRead>(reader: R) -> io::Result<Vec<MemRef>> {
-    let mut out = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    TraceReader::new(reader).collect()
+}
+
+/// A streaming trace parser: an iterator yielding one
+/// `io::Result<MemRef>` per trace line, in bounded memory.
+///
+/// Comments and blank lines are skipped; errors carry 1-based line
+/// numbers exactly like [`read_trace`] (which is now a thin
+/// `collect()` over this type). After the first error the iterator
+/// fuses (yields `None` forever) — a malformed line poisons the rest of
+/// the file anyway.
+///
+/// # Examples
+///
+/// ```
+/// use zworkloads::trace_io::TraceReader;
+///
+/// let text = "# demo\nR 10\nW 20 3\n";
+/// let refs: Vec<_> = TraceReader::new(text.as_bytes())
+///     .collect::<std::io::Result<Vec<_>>>()
+///     .unwrap();
+/// assert_eq!(refs.len(), 2);
+/// assert_eq!(refs[1].gap, 3);
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    /// Reused line buffer — the only allocation the stream holds.
+    line: String,
+    lineno: u64,
+    fused: bool,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            fused: false,
         }
+    }
+
+    /// Lines consumed so far (including comments and blanks).
+    pub fn lines_read(&self) -> u64 {
+        self.lineno
+    }
+
+    fn parse_line(trimmed: &str, lineno: u64) -> io::Result<MemRef> {
         let mut parts = trimmed.split_whitespace();
         let bad = |msg: &str| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: {msg}: {trimmed:?}", lineno + 1),
+                format!("line {lineno}: {msg}: {trimmed:?}"),
             )
         };
         let write = match parts.next() {
@@ -56,13 +103,43 @@ pub fn read_trace<R: BufRead>(reader: R) -> io::Result<Vec<MemRef>> {
         if parts.next().is_some() {
             return Err(bad("trailing fields"));
         }
-        out.push(MemRef {
+        Ok(MemRef {
             line: addr,
             write,
             gap,
-        });
+        })
     }
-    Ok(out)
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = io::Result<MemRef>;
+
+    fn next(&mut self) -> Option<io::Result<MemRef>> {
+        if self.fused {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(e));
+                }
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parsed = Self::parse_line(trimmed, self.lineno);
+            if parsed.is_err() {
+                self.fused = true;
+            }
+            return Some(parsed);
+        }
+    }
 }
 
 /// Writes a trace to a writer in the canonical format.
@@ -177,6 +254,46 @@ mod tests {
         for bad in ["X 10", "R", "R zz", "R 10 x", "R 10 1 extra"] {
             assert!(read_trace(bad.as_bytes()).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn streaming_reader_matches_read_trace() {
+        let text = "# header\nR 10\n\nw 20 3\nR 0x30\n";
+        let streamed: Vec<MemRef> = TraceReader::new(text.as_bytes())
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(streamed, read_trace(text.as_bytes()).unwrap());
+        assert_eq!(streamed.len(), 3);
+    }
+
+    #[test]
+    fn streaming_reader_reports_line_numbers_and_fuses() {
+        // Error on physical line 4 (comment and blank lines count).
+        let text = "# c\nR 1\n\nR zz\nR 2\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        assert_eq!(reader.next().unwrap().unwrap().line, 1);
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+        // Fused: the valid line after the error is not yielded.
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_is_bounded_memory_shaped() {
+        // A large synthetic trace consumed one record at a time; the
+        // iterator never holds more than its single line buffer.
+        let mut text = String::new();
+        for i in 0..10_000u64 {
+            text.push_str(&format!("R {i:x}\n"));
+        }
+        let mut n = 0u64;
+        for r in TraceReader::new(text.as_bytes()) {
+            assert_eq!(r.unwrap().line, n);
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
     }
 
     #[test]

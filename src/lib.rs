@@ -12,6 +12,8 @@
 //!   the paper's PARSEC/SPECOMP/SPECCPU2006 workloads.
 //! * [`zenergy`] — the CACTI/McPAT-like cache cost and system power model.
 //! * [`zsim`] — the 32-core CMP memory-hierarchy simulator.
+//! * [`zserve`] — a sharded cache service tier with deterministic fault
+//!   injection, used for the chaos soak (`zbench serve --chaos`).
 //!
 //! # Examples
 //!
@@ -32,5 +34,6 @@
 pub use zcache_core;
 pub use zenergy;
 pub use zhash;
+pub use zserve;
 pub use zsim;
 pub use zworkloads;
