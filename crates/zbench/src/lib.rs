@@ -16,6 +16,7 @@
 //! | [`exp_perf`] | Simulator throughput (accesses/sec) across the design lineup, with baseline tracking |
 //! | [`exp_adaptive`] | §VIII future work — adaptive walk throttling |
 //! | [`exp_conflicts`] | §IV conflict-miss decomposition vs fully-associative |
+//! | [`exp_predict`] | Analytical miss-ratio fast-path — reuse-distance profiles convolved with the §IV uniformity model, cross-validated against simulation |
 //!
 //! The `zbench` binary exposes one subcommand per module; library entry
 //! points return structured results so integration tests can assert the
@@ -34,6 +35,7 @@ pub mod exp_fig3;
 pub mod exp_fig4;
 pub mod exp_fig5;
 pub mod exp_perf;
+pub mod exp_predict;
 pub mod exp_serve;
 pub mod exp_table2;
 pub mod exp_trace;

@@ -14,6 +14,10 @@
 //!   ablate      Design-choice ablations (walk order, early stop, …)
 //!   adaptive    §VIII adaptive walk throttling (future work)
 //!   conflicts   §IV conflict-miss decomposition vs fully-associative
+//!   predict     Analytical miss-ratio fast-path: profile each workload's
+//!               reuse distances once, predict the whole design×size grid
+//!               without simulation; --validate cross-checks against
+//!               simulated LRU and writes BENCH_predict.json
 //!   trace       Run a trace file (zworkloads::trace_io format) through the lineup
 //!   dumptrace   Record a workload's L2 stream and export it as a trace file
 //!   check       Differential conformance sweep vs the zoracle reference models
@@ -51,6 +55,14 @@
 //!                           overload) instead of the fault-free baseline
 //!   --workload a|b|c|d      serve: YCSB workload mix (default a)
 //!   --ops N                 serve: operations per soak point
+//!   --zipf-s S              serve: Zipf exponent of the request distribution
+//!   --read-prop P           serve: override the read proportion
+//!   --update-prop P         serve: override the update proportion
+//!   --insert-prop P         serve: override the insert proportion
+//!   --sizes N,N,...         predict: cache sizes in lines (powers of two >= 64)
+//!   --tol T                 predict: cross-validation error tolerance
+//!   --validate              predict: also simulate every grid point, compare,
+//!                           and write the BENCH_predict.json artifact
 //!
 //! `check` exits 1 on divergence, after delta-debugging the failing
 //! stream to a minimal repro and writing it to tests/corpus/. `serve
@@ -67,11 +79,13 @@ use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
 const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
-                     conflicts|trace|dumptrace|check|perf|serve|all> [--scale small|paper] \
+                     conflicts|predict|trace|dumptrace|check|perf|serve|all> \
+                     [--scale small|paper] \
                      [--cores N] [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] \
                      [--jobs N] [--accesses N] [--design NAME] [--lines N] [--ways N] \
                      [--digest-every N] [--smoke] [--reps N] [--sim] [--filter D:P] [--out FILE] \
-                     [--chaos] [--workload a|b|c|d] [--ops N]";
+                     [--chaos] [--workload a|b|c|d] [--ops N] [--zipf-s S] [--read-prop P] \
+                     [--update-prop P] [--insert-prop P] [--sizes N,N,...] [--tol T] [--validate]";
 
 /// Parses a numeric flag value; on failure prints the offending flag
 /// and value plus the usage line and exits 2 instead of panicking.
@@ -81,6 +95,23 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> T {
         eprintln!("{USAGE}");
         std::process::exit(2);
     })
+}
+
+/// Parses a float flag value, rejecting non-finite values (NaN, ±inf —
+/// `f64::from_str` happily accepts the strings "NaN" and "inf") and
+/// anything below `min`. On failure prints the offending flag and value
+/// plus the usage line and exits 2, so no malformed float reaches a
+/// downstream `panic!`/`assert!`.
+fn parse_float(flag: &str, value: &str, min: f64) -> f64 {
+    let parsed: Option<f64> = value.parse().ok();
+    match parsed {
+        Some(v) if v.is_finite() && v >= min => v,
+        _ => {
+            eprintln!("{flag}: expected a finite number >= {min}, got {value:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -103,6 +134,10 @@ fn main() {
     let mut ops_arg: Option<u64> = None;
     let mut filter_arg: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut tuning = ServeTuning::default();
+    let mut sizes_arg: Option<Vec<u64>> = None;
+    let mut tol_arg: Option<f64> = None;
+    let mut validate = false;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -173,6 +208,47 @@ fn main() {
             "--ops" => {
                 ops_arg = Some(parse_num("--ops", &take("--ops")));
                 i += 2;
+            }
+            "--zipf-s" => {
+                tuning.zipf_s = Some(parse_float("--zipf-s", &take("--zipf-s"), 0.0));
+                i += 2;
+            }
+            "--read-prop" => {
+                tuning.read_prop = Some(parse_float("--read-prop", &take("--read-prop"), 0.0));
+                i += 2;
+            }
+            "--update-prop" => {
+                tuning.update_prop =
+                    Some(parse_float("--update-prop", &take("--update-prop"), 0.0));
+                i += 2;
+            }
+            "--insert-prop" => {
+                tuning.insert_prop =
+                    Some(parse_float("--insert-prop", &take("--insert-prop"), 0.0));
+                i += 2;
+            }
+            "--sizes" => {
+                let raw = take("--sizes");
+                sizes_arg = Some(
+                    raw.split(',')
+                        .map(|s| parse_num("--sizes", s.trim()))
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--tol" => {
+                let t = parse_float("--tol", &take("--tol"), 0.0);
+                if t <= 0.0 {
+                    eprintln!("--tol: tolerance must be positive, got {t}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+                tol_arg = Some(t);
+                i += 2;
+            }
+            "--validate" => {
+                validate = true;
+                i += 1;
             }
             "--filter" => {
                 filter_arg = Some(take("--filter"));
@@ -247,6 +323,56 @@ fn main() {
         "ablate" => println!("{}", exp_ablate::report(&exp_ablate::run(&opts))),
         "adaptive" => println!("{}", exp_adaptive::report(&exp_adaptive::run(&opts))),
         "conflicts" => println!("{}", exp_conflicts::report(&exp_conflicts::run(&opts))),
+        "predict" => {
+            let mut popts = if smoke {
+                let mut p = zbench::exp_predict::PredictOpts::smoke();
+                p.exp.seed = opts.seed;
+                p.exp.jobs = opts.jobs;
+                if opts.max_workloads.is_some() {
+                    p.exp.max_workloads = opts.max_workloads;
+                }
+                p
+            } else {
+                zbench::exp_predict::PredictOpts::from_exp(opts)
+            };
+            if let Some(sizes) = sizes_arg {
+                popts.sizes = sizes;
+            }
+            if let Some(t) = tol_arg {
+                popts.tol = t;
+            }
+            if let Err(e) = popts.validate_sizes() {
+                eprintln!("--sizes: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            if validate {
+                let rows = zbench::exp_predict::validate(&popts);
+                println!(
+                    "{}",
+                    zbench::exp_predict::report_validation(&rows, popts.tol)
+                );
+                let path = out_path.unwrap_or_else(|| "BENCH_predict.json".to_string());
+                let json = zbench::exp_predict::to_json(&rows, &popts);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("wrote {path}");
+                if !zbench::exp_predict::within_tolerance(&rows, popts.tol) {
+                    eprintln!(
+                        "cross-validation failed: a design exceeds tolerance {:.4} (see table)",
+                        popts.tol
+                    );
+                    std::process::exit(1);
+                }
+            } else {
+                println!(
+                    "{}",
+                    zbench::exp_predict::report(&zbench::exp_predict::run(&popts))
+                );
+            }
+        }
         "dumptrace" => {
             // Record a workload's L2 reference stream and export it in
             // the trace_io format, so it can be replayed (`zbench trace`)
@@ -385,6 +511,7 @@ fn main() {
             workload_arg.as_deref(),
             ops_arg,
             out_path.as_deref(),
+            &tuning,
         ),
         "all" => {
             table1(&opts);
@@ -414,6 +541,19 @@ fn main() {
     }
 }
 
+/// CLI overrides for the YCSB workload spec (`--zipf-s`, `--*-prop`).
+/// Values arrive through [`parse_float`], so each is already finite and
+/// non-negative; the assembled spec is still re-validated before the
+/// generator is built, keeping `YcsbGen::new`'s panic path unreachable
+/// from the CLI.
+#[derive(Debug, Default, Clone, Copy)]
+struct ServeTuning {
+    zipf_s: Option<f64>,
+    read_prop: Option<f64>,
+    update_prop: Option<f64>,
+    insert_prop: Option<f64>,
+}
+
 /// Runs the zserve service-tier benchmark; with `chaos`, the full
 /// fault-injection soak matrix. On invariant violations, writes each
 /// shrunk fault schedule to `tests/corpus/` and exits 1, mirroring
@@ -425,6 +565,7 @@ fn serve(
     workload: Option<&str>,
     ops: Option<u64>,
     out: Option<&str>,
+    tuning: &ServeTuning,
 ) {
     let mut cfg = if smoke {
         zserve::ServeConfig::default().smoke()
@@ -444,6 +585,22 @@ fn serve(
         }
     }
     .records(records);
+    if let Some(s) = tuning.zipf_s {
+        cfg.spec = cfg.spec.dist(zworkloads::ycsb::RequestDist::Zipfian(s));
+    }
+    if let Some(p) = tuning.read_prop {
+        cfg.spec = cfg.spec.read(p);
+    }
+    if let Some(p) = tuning.update_prop {
+        cfg.spec = cfg.spec.update(p);
+    }
+    if let Some(p) = tuning.insert_prop {
+        cfg.spec = cfg.spec.insert(p);
+    }
+    if let Err(e) = cfg.spec.validate() {
+        eprintln!("invalid YCSB spec: {e}");
+        std::process::exit(2);
+    }
     if let Some(n) = ops {
         cfg.total_ops = n;
         // Leave generous virtual-time headroom so a heavier point is

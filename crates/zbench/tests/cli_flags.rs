@@ -1,0 +1,120 @@
+//! Float-valued flag hardening for the `zbench` CLI.
+//!
+//! `f64::from_str` happily parses `"NaN"`, `"inf"` and negative
+//! values, so every float flag goes through `parse_float`, which
+//! rejects anything non-finite or below the flag's floor by printing
+//! the offending flag plus the usage line and exiting 2 — before any
+//! downstream `panic!`/`assert!` (e.g. `YcsbGen::new`'s validation
+//! panic) can be reached from the command line.
+
+use std::process::{Command, Output};
+
+fn zbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_zbench"))
+        .args(args)
+        .output()
+        .expect("failed to spawn zbench")
+}
+
+/// Asserts the invocation exits 2 with the flag named on stderr along
+/// with the usage line, and that nothing panicked.
+fn assert_rejected(args: &[&str], flag: &str) {
+    let out = zbench(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(flag),
+        "{args:?}: stderr missing {flag:?}: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?}: stderr missing usage: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{args:?}: panicked: {stderr}");
+}
+
+#[test]
+fn malformed_float_flags_exit_2_with_flag_and_usage() {
+    // NaN parses as a float but is rejected as non-finite; the serve
+    // benchmark must never start.
+    assert_rejected(&["serve", "--zipf-s", "NaN"], "--zipf-s");
+    assert_rejected(&["serve", "--zipf-s", "-1"], "--zipf-s");
+    assert_rejected(&["serve", "--zipf-s", "inf"], "--zipf-s");
+    assert_rejected(&["serve", "--read-prop", "-0.5"], "--read-prop");
+    assert_rejected(&["serve", "--read-prop", "NaN"], "--read-prop");
+    assert_rejected(&["serve", "--update-prop", "abc"], "--update-prop");
+    assert_rejected(&["serve", "--insert-prop", "-inf"], "--insert-prop");
+    assert_rejected(&["predict", "--tol", "NaN"], "--tol");
+    assert_rejected(&["predict", "--tol", "-0.1"], "--tol");
+    // Zero tolerance is finite and >= 0 but still meaningless.
+    assert_rejected(&["predict", "--tol", "0"], "--tol");
+}
+
+#[test]
+fn flags_missing_values_exit_2() {
+    let out = zbench(&["serve", "--zipf-s"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--zipf-s requires a value"), "{stderr}");
+}
+
+#[test]
+fn predict_rejects_bad_size_grids() {
+    // Not a power of two.
+    assert_rejected(&["predict", "--sizes", "100"], "--sizes");
+    // Below the 64-line floor.
+    assert_rejected(&["predict", "--sizes", "32"], "--sizes");
+    // Non-numeric entry in the list.
+    assert_rejected(&["predict", "--sizes", "1024,x"], "--sizes");
+}
+
+#[test]
+fn zero_mass_ycsb_spec_is_a_clean_error_not_a_panic() {
+    // Individually valid proportions whose total mass is zero pass
+    // parse_float but fail spec validation; the CLI must report that
+    // itself rather than reach YcsbGen::new's panic.
+    let out = zbench(&[
+        "serve",
+        "--smoke",
+        "--read-prop",
+        "0",
+        "--update-prop",
+        "0",
+        "--insert-prop",
+        "0",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("invalid YCSB spec"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn valid_float_flags_are_accepted() {
+    // A pure-prediction run (no simulation) with explicit sizes and
+    // tolerance: the whole flag path wired end to end.
+    let out = zbench(&[
+        "predict",
+        "--smoke",
+        "--workloads",
+        "1",
+        "--sizes",
+        "512,1024",
+        "--tol",
+        "0.2",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("Z4/52"), "{stdout}");
+    assert!(stdout.contains("1024"), "{stdout}");
+}

@@ -1,0 +1,82 @@
+//! `zbench predict` cross-validation guarantees, pinned by the
+//! committed `BENCH_predict.json` artifact.
+//!
+//! The artifact is regenerated here from the exact CLI configuration
+//! that produced it (`zbench predict --smoke --workloads 4 --validate`)
+//! and byte-compared against the committed file: every predicted and
+//! simulated miss ratio in it is a pure function of the options, so any
+//! drift in the profiler, the analytic model, the workload generators
+//! or the simulated caches fails this test loudly.
+
+use std::sync::OnceLock;
+use zbench::exp_predict::{self, PredictOpts, ValidationRow, FULLY_TOL};
+
+/// The configuration the committed artifact was generated with.
+fn pinned_opts() -> PredictOpts {
+    let mut opts = PredictOpts::smoke();
+    opts.exp.max_workloads = Some(4);
+    opts
+}
+
+/// The pinned validation run, computed once and shared by the tests in
+/// this file (each run re-records, profiles and simulates the full
+/// grid, which dominates this suite's runtime).
+fn pinned_rows() -> &'static [ValidationRow] {
+    static ROWS: OnceLock<Vec<ValidationRow>> = OnceLock::new();
+    ROWS.get_or_init(|| exp_predict::validate(&pinned_opts()))
+}
+
+fn repo_artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_predict.json")
+}
+
+#[test]
+fn pinned_artifact_is_reproducible_byte_for_byte() {
+    let committed = std::fs::read_to_string(repo_artifact_path())
+        .expect("BENCH_predict.json must be committed at the repo root");
+    let regenerated = exp_predict::to_json(pinned_rows(), &pinned_opts());
+    assert_eq!(
+        regenerated, committed,
+        "BENCH_predict.json drifted from `zbench predict --smoke --workloads 4 --validate`; \
+         regenerate it with that command if the change is intentional"
+    );
+}
+
+#[test]
+fn pinned_run_is_within_documented_tolerances() {
+    let opts = pinned_opts();
+    let rows = pinned_rows();
+    assert!(
+        exp_predict::within_tolerance(rows, opts.tol),
+        "cross-validation exceeded tolerance:\n{}",
+        exp_predict::report_validation(rows, opts.tol)
+    );
+    // The fully-associative column is exact, not merely within
+    // tolerance: FA-LRU of C lines hits exactly the references with
+    // stack distance < C, and power-of-two capacities fall on profile
+    // bucket boundaries.
+    for row in rows.iter().filter(|r| r.design == "fully") {
+        assert!(
+            row.abs_error() <= FULLY_TOL,
+            "{} lines={}: |{} - {}| > {FULLY_TOL}",
+            row.workload,
+            row.lines,
+            row.predicted,
+            row.simulated
+        );
+    }
+}
+
+#[test]
+fn validation_is_deterministic_across_job_counts() {
+    let reference = exp_predict::to_json(pinned_rows(), &pinned_opts());
+    for jobs in [1, 7] {
+        let mut opts = pinned_opts();
+        opts.exp.jobs = jobs;
+        assert_eq!(
+            exp_predict::to_json(&exp_predict::validate(&opts), &opts),
+            reference,
+            "jobs={jobs}"
+        );
+    }
+}

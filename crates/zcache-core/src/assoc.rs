@@ -50,8 +50,13 @@ pub fn uniform_assoc_mean(n: u32) -> f64 {
 /// sample evictions via [`AssociativityMeter`] for big caches.
 ///
 /// Returns `None` if the victim slot holds no block or if it is the only
-/// valid block (priority is undefined with `B == 1`; by convention we
-/// report 1.0 in that case… `None` keeps callers honest instead).
+/// valid block. With `B == 1` valid blocks the normalizing denominator
+/// `B − 1` vanishes, so the priority is undefined; any fixed convention
+/// (0, ½ or 1.0) would inject a spurious point mass into measured
+/// distributions, so the convention is **`None`**: the sample is skipped
+/// entirely, and [`AssociativityMeter`] leaves its histogram untouched
+/// for such evictions (they still count toward
+/// [`evictions_seen`](AssociativityMeter::evictions_seen)).
 pub fn eviction_priority<A, P>(array: &A, policy: &P, victim: SlotId) -> Option<f64>
 where
     A: CacheArray + ?Sized,
@@ -295,6 +300,36 @@ mod tests {
         }
         assert_eq!(m.evictions_seen(), 9);
         assert_eq!(m.samples(), 3);
+    }
+
+    #[test]
+    fn meter_never_skews_on_singleton_evictions() {
+        // A cache holding exactly one valid block: eviction priority is
+        // undefined (B == 1), so the meter must record *nothing* — any
+        // fixed convention would bias the histogram.
+        let mut m = AssociativityMeter::new(8, 1);
+        let mut a = FullyAssocArray::new(4);
+        let mut p = FullLru::new(4);
+        let ctx = AccessCtx::UNKNOWN;
+        let mut cands = CandidateSet::new();
+        let mut out = InstallOutcome::default();
+        a.candidates(1, &mut cands);
+        a.install(1, &cands.as_slice()[0].clone(), &mut out);
+        p.on_fill(out.filled_slot, 1, &ctx);
+        let only = out.filled_slot;
+        for _ in 0..5 {
+            m.on_eviction(&a, &p, only);
+        }
+        assert_eq!(m.evictions_seen(), 5);
+        assert_eq!(m.samples(), 0);
+        assert!(m.histogram().counts().iter().all(|&c| c == 0));
+        // A second block makes priorities well-defined again and the
+        // meter starts sampling.
+        a.candidates(2, &mut cands);
+        a.install(2, &cands.as_slice()[0].clone(), &mut out);
+        p.on_fill(out.filled_slot, 2, &ctx);
+        m.on_eviction(&a, &p, only);
+        assert_eq!(m.samples(), 1);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod array;
 mod assoc;
 mod cache;
 mod failure;
+pub mod model;
 mod repl;
 pub mod seeded_map;
 mod stats;

@@ -31,7 +31,12 @@ impl LatencySummary {
         sorted.sort_unstable();
         let pct = |p: u64| {
             // Nearest-rank percentile: smallest sample with at least
-            // p% of the mass at or below it.
+            // p% of the mass at or below it, i.e. the smallest rank r
+            // (1-based) with r·100 ≥ N·p. `div_ceil` computes exactly
+            // that, including the even-N median (N=4, p50 → rank 2) and
+            // the small-N tails (N=2, p99 → rank 2); the `.max(1)`
+            // only guards p=0. Locked against a naive reference by
+            // `nearest_rank_matches_naive_reference`.
             let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
             sorted[rank - 1]
         };
@@ -138,6 +143,54 @@ mod tests {
         let s = LatencySummary::from_samples(&[9, 1, 5]);
         assert_eq!(s.p50, 5);
         assert_eq!(s.max, 9);
+    }
+
+    /// Naive nearest-rank reference: linear scan for the first 1-based
+    /// index `i` whose prefix covers at least `p`% of the mass
+    /// (`i·100 ≥ N·p`), written independently of the `div_ceil` form.
+    fn naive_pct(sorted: &[u64], p: u64) -> u64 {
+        let n = sorted.len() as u64;
+        for i in 1..=n {
+            if i * 100 >= n * p {
+                return sorted[(i - 1) as usize];
+            }
+        }
+        *sorted.last().unwrap()
+    }
+
+    #[test]
+    fn nearest_rank_matches_naive_reference() {
+        // Property test over every N in 1..=200 with adversarial sample
+        // values (duplicates, zeros, large gaps) from a fixed LCG, plus
+        // the even/small-N corners the audit called out (N=2, N=4).
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 1000
+        };
+        for n in 1..=200usize {
+            let mut samples: Vec<u64> = (0..n).map(|_| next()).collect();
+            let s = LatencySummary::from_samples(&samples);
+            samples.sort_unstable();
+            for (p, got) in [(50, s.p50), (95, s.p95), (99, s.p99)] {
+                assert_eq!(got, naive_pct(&samples, p), "N={n} p{p}: {samples:?}");
+            }
+            assert_eq!(s.max, *samples.last().unwrap(), "N={n} max");
+            assert_eq!(s.count, n as u64, "N={n} count");
+        }
+    }
+
+    #[test]
+    fn even_n_median_takes_lower_of_the_two_middles() {
+        // N=4, p50: rank = ceil(200/100) = 2 — the lower middle, per
+        // the nearest-rank definition (not an interpolated average).
+        let s = LatencySummary::from_samples(&[10, 20, 30, 40]);
+        assert_eq!(s.p50, 20);
+        // N=2: p50 is the first sample, the tails are the second.
+        let s = LatencySummary::from_samples(&[1, 2]);
+        assert_eq!((s.p50, s.p95, s.p99), (1, 2, 2));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod profile;
 pub mod suite;
 pub mod trace_io;
 pub mod ycsb;

@@ -125,7 +125,17 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                 Ok(_) => {}
                 Err(e) => {
                     self.fused = true;
-                    return Some(Err(e));
+                    // The failure happened while reading the line
+                    // *after* the last one counted — `lineno` is only
+                    // incremented on a successful read, so the failing
+                    // line is `lineno + 1` (1-based, like parse
+                    // errors), even when the error strikes mid-line
+                    // after a partial buffer refill.
+                    let lineno = self.lineno + 1;
+                    return Some(Err(io::Error::new(
+                        e.kind(),
+                        format!("line {lineno}: read error: {e}"),
+                    )));
                 }
             }
             self.lineno += 1;
@@ -294,6 +304,118 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 10_000);
+    }
+
+    /// Yields `data`, then fails every subsequent read with the given
+    /// error kind — an I/O fault striking mid-stream (possibly
+    /// mid-line, when `data` doesn't end in a newline).
+    struct FailingReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        kind: io::ErrorKind,
+    }
+
+    impl io::Read for FailingReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(io::Error::new(self.kind, "disk on fire"))
+            }
+        }
+    }
+
+    #[test]
+    fn mid_stream_io_error_reports_failing_line_number() {
+        // Two complete lines then the device dies at the start of
+        // line 3: the error must name line 3, 1-based, and keep the
+        // original error kind.
+        let failing = FailingReader {
+            data: b"R 1\nR 2\n",
+            pos: 0,
+            kind: io::ErrorKind::ConnectionReset,
+        };
+        let mut reader = TraceReader::new(io::BufReader::with_capacity(16, failing));
+        assert_eq!(reader.next().unwrap().unwrap().line, 1);
+        assert_eq!(reader.next().unwrap().unwrap().line, 2);
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(err.to_string().starts_with("line 3: read error:"), "{err}");
+        assert!(reader.next().is_none(), "reader must fuse after I/O error");
+    }
+
+    #[test]
+    fn mid_line_io_error_reports_the_interrupted_line() {
+        // The fault strikes *inside* line 2 (no trailing newline on the
+        // data): line 1 parsed fine, so the failing line is 2.
+        let failing = FailingReader {
+            data: b"R 1\nW 2",
+            pos: 0,
+            kind: io::ErrorKind::UnexpectedEof,
+        };
+        let mut reader = TraceReader::new(io::BufReader::with_capacity(4, failing));
+        assert_eq!(reader.next().unwrap().unwrap().line, 1);
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().starts_with("line 2: read error:"), "{err}");
+    }
+
+    #[test]
+    fn records_split_across_buffer_refills_parse_intact() {
+        // Tiny BufReader capacities force every record to straddle one
+        // or more refills; `read_line` must still assemble whole lines
+        // and the parsed stream must match the reference parse.
+        let text = "# header comment long enough to span refills\nR 1a2b3c 7\nW ff\nR 0x30 12\n";
+        let reference = read_trace(text.as_bytes()).unwrap();
+        for capacity in 1..=24 {
+            let reader = io::BufReader::with_capacity(capacity, text.as_bytes());
+            let parsed: Vec<MemRef> = TraceReader::new(reader)
+                .collect::<io::Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(parsed, reference, "capacity={capacity}");
+        }
+    }
+
+    #[test]
+    fn malformed_line_number_is_stable_across_buffer_sizes() {
+        // The bad record sits on physical line 3; splitting it across
+        // refill boundaries must not shift the reported number.
+        let text = "R 1\n# padding comment\nW zznothex 5\nR 2\n";
+        for capacity in 1..=16 {
+            let reader = io::BufReader::with_capacity(capacity, text.as_bytes());
+            let err = TraceReader::new(reader)
+                .collect::<io::Result<Vec<_>>>()
+                .unwrap_err();
+            assert!(
+                err.to_string().starts_with("line 3:"),
+                "capacity={capacity}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_final_line_parses_and_reports_its_number() {
+        // Valid unterminated final line: parsed like any other.
+        let refs: Vec<MemRef> = TraceReader::new("R 1\nW 2 4".as_bytes())
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[1].gap, 4);
+        // Malformed unterminated final line: reported as line 2 even
+        // without its newline, at any refill granularity.
+        for capacity in 1..=8 {
+            let reader = io::BufReader::with_capacity(capacity, "R 1\nW zz".as_bytes());
+            let err = TraceReader::new(reader)
+                .collect::<io::Result<Vec<_>>>()
+                .unwrap_err();
+            assert!(
+                err.to_string().starts_with("line 2:"),
+                "capacity={capacity}: {err}"
+            );
+        }
     }
 
     #[test]
