@@ -11,9 +11,14 @@
 use crate::format_table;
 use crate::opts::{fig_designs, ExpOpts};
 use crate::{point_seed, SweepRunner};
-use zcache_core::{ArrayKind, CacheBuilder, PolicyKind};
+use zcache_core::{ArrayKind, CacheBuilder, PolicyKind, VictimCache};
+use zhash::HashKind;
 use zsim::trace::record_trace;
 use zworkloads::suite::paper_suite_scaled;
+
+/// Victim-buffer entries of the `SA-4+VC` comparison row (Jouppi-style,
+/// §II-B: a small fully-associative buffer beside the main cache).
+pub const VICTIM_BUFFER_LINES: u64 = 64;
 
 /// Conflict decomposition for one workload × design.
 #[derive(Debug, Clone)]
@@ -71,11 +76,9 @@ pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
         };
 
         let fully = run_design(ArrayKind::Fully, 4);
-        let mut rows = Vec::new();
-        for (label, design) in fig_designs() {
-            let misses = run_design(design.array, design.ways);
+        let row = |label: String, misses: u64| {
             let conflict = misses as i64 - fully as i64;
-            rows.push(ConflictRow {
+            ConflictRow {
                 workload: wl.name().to_string(),
                 design: label,
                 misses,
@@ -86,8 +89,30 @@ pub fn run(opts: &ExpOpts) -> Vec<ConflictRow> {
                 } else {
                     0.0
                 },
-            });
+            }
+        };
+        let mut rows = Vec::new();
+        for (label, design) in fig_designs() {
+            rows.push(row(label, run_design(design.array, design.ways)));
         }
+        // The §II-B alternative to associativity: the same SA-4 main
+        // cache fronted by a small fully-associative victim buffer. Its
+        // "misses" are the system misses (main misses the buffer could
+        // not recover), so the row is directly comparable.
+        let main = CacheBuilder::new()
+            .lines(lines)
+            .ways(4)
+            .array(ArrayKind::SetAssoc {
+                hash: HashKind::BitSelect,
+            })
+            .policy(PolicyKind::Lru)
+            .seed(seed)
+            .build();
+        let mut vc = VictimCache::new(main, VICTIM_BUFFER_LINES);
+        for &(line, _) in &refs {
+            vc.access(line);
+        }
+        rows.push(row("SA-4+VC".to_string(), vc.system_misses()));
         rows
     });
     per_workload.into_iter().flatten().collect()
@@ -180,5 +205,27 @@ mod tests {
         let rep = report(&rows());
         assert!(rep.contains("Conflict-miss decomposition"));
         assert!(rep.contains("Z4/52"));
+        assert!(rep.contains("SA-4+VC"));
+    }
+
+    #[test]
+    fn victim_cache_row_is_present_and_sane() {
+        // §II-B comparison row: every workload gets exactly one
+        // SA-4+VC entry whose misses share the workload's
+        // fully-associative reference (same decomposition baseline).
+        let r = rows();
+        for w in ["cactusADM", "omnetpp", "gcc", "wupwise"] {
+            let vc: Vec<_> = r
+                .iter()
+                .filter(|x| x.workload == w && x.design == "SA-4+VC")
+                .collect();
+            assert_eq!(vc.len(), 1, "one VC row per workload ({w})");
+            let any = r
+                .iter()
+                .find(|x| x.workload == w && x.design == "SA-4")
+                .unwrap();
+            assert_eq!(vc[0].fully_misses, any.fully_misses);
+            assert!(vc[0].misses > 0, "VC system misses must be counted ({w})");
+        }
     }
 }

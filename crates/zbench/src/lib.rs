@@ -17,6 +17,7 @@
 //! | [`exp_adaptive`] | §VIII future work — adaptive walk throttling |
 //! | [`exp_conflicts`] | §IV conflict-miss decomposition vs fully-associative |
 //! | [`exp_predict`] | Analytical miss-ratio fast-path — reuse-distance profiles convolved with the §IV uniformity model, cross-validated against simulation |
+//! | [`exp_tenants`] | Multi-tenant quota partitioning — solo/shared/partitioned MPKI per tenant, Jain fairness, and the partition lockstep grid vs `zoracle` (with quota-bypass mutation testing) |
 //!
 //! The `zbench` binary exposes one subcommand per module; library entry
 //! points return structured results so integration tests can assert the
@@ -38,6 +39,7 @@ pub mod exp_perf;
 pub mod exp_predict;
 pub mod exp_serve;
 pub mod exp_table2;
+pub mod exp_tenants;
 pub mod exp_trace;
 pub mod opts;
 pub mod pipeline;

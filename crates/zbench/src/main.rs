@@ -21,6 +21,11 @@
 //!   trace       Run a trace file (zworkloads::trace_io format) through the lineup
 //!   dumptrace   Record a workload's L2 stream and export it as a trace file
 //!   check       Differential conformance sweep vs the zoracle reference models
+//!   tenants     Multi-tenant quota-partitioning sweep: per-tenant MPKI solo vs
+//!               shared vs partitioned plus Jain fairness; --check runs the
+//!               partition lockstep grid vs zoracle, --mutate quota-bypass
+//!               verifies the lockstep catches the enforcement mutant and
+//!               writes a shrunk .ptrace repro to tests/corpus/
 //!   perf        Access-path throughput (accesses/sec); writes BENCH_access.json
 //!   serve       Sharded service tier benchmark; --chaos runs the fault-injection
 //!               soak matrix and writes BENCH_serve.json
@@ -59,6 +64,12 @@
 //!   --read-prop P           serve: override the read proportion
 //!   --update-prop P         serve: override the update proportion
 //!   --insert-prop P         serve: override the insert proportion
+//!   --quota-frac F          tenants: fraction of the array granted as quotas
+//!                           (default 1.0; > 1 overcommits)
+//!   --check                 tenants: run the partition lockstep grid instead of
+//!                           the isolation sweep (exits 1 on divergence)
+//!   --mutate NAME           tenants --check: apply a production-side mutation
+//!                           (quota-bypass); exits 1 if any pair MISSES it
 //!   --sizes N,N,...         predict: cache sizes in lines (powers of two >= 64)
 //!   --tol T                 predict: cross-validation error tolerance
 //!   --validate              predict: also simulate every grid point, compare,
@@ -79,11 +90,12 @@ use zcache_core::PolicyKind;
 use zworkloads::suite::Scale;
 
 const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|ablate|adaptive|\
-                     conflicts|predict|trace|dumptrace|check|perf|serve|all> \
+                     conflicts|predict|trace|dumptrace|check|tenants|perf|serve|all> \
                      [--scale small|paper] \
                      [--cores N] [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] \
                      [--jobs N] [--accesses N] [--design NAME] [--lines N] [--ways N] \
-                     [--digest-every N] [--smoke] [--reps N] [--sim] [--filter D:P] [--out FILE] \
+                     [--digest-every N] [--quota-frac F] [--check] [--mutate NAME] [--smoke] \
+                     [--reps N] [--sim] [--filter D:P] [--out FILE] \
                      [--chaos] [--workload a|b|c|d] [--ops N] [--zipf-s S] [--read-prop P] \
                      [--update-prop P] [--insert-prop P] [--sizes N,N,...] [--tol T] [--validate]";
 
@@ -138,6 +150,12 @@ fn main() {
     let mut sizes_arg: Option<Vec<u64>> = None;
     let mut tol_arg: Option<f64> = None;
     let mut validate = false;
+    let mut lines_arg: Option<u64> = None;
+    let mut ways_arg: Option<u32> = None;
+    let mut digest_arg: Option<u64> = None;
+    let mut quota_frac_arg: Option<f64> = None;
+    let mut do_check = false;
+    let mut mutate_arg: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -268,14 +286,29 @@ fn main() {
             }
             "--lines" => {
                 check_opts.lines = parse_num("--lines", &take("--lines"));
+                lines_arg = Some(check_opts.lines);
                 i += 2;
             }
             "--ways" => {
                 check_opts.ways = parse_num("--ways", &take("--ways"));
+                ways_arg = Some(check_opts.ways);
                 i += 2;
             }
             "--digest-every" => {
                 check_opts.digest_every = parse_num("--digest-every", &take("--digest-every"));
+                digest_arg = Some(check_opts.digest_every);
+                i += 2;
+            }
+            "--quota-frac" => {
+                quota_frac_arg = Some(parse_float("--quota-frac", &take("--quota-frac"), 0.0));
+                i += 2;
+            }
+            "--check" => {
+                do_check = true;
+                i += 1;
+            }
+            "--mutate" => {
+                mutate_arg = Some(take("--mutate"));
                 i += 2;
             }
             "--seed" => {
@@ -435,6 +468,26 @@ fn main() {
             check_opts.seed = opts.seed;
             check_opts.jobs = opts.jobs;
             check(check_opts, design_arg.as_deref(), policy_arg.as_deref());
+        }
+        "tenants" => {
+            let mut topts = zbench::exp_tenants::TenantOpts {
+                seed: opts.seed,
+                jobs: opts.jobs,
+                ..Default::default()
+            };
+            if do_check {
+                // The lockstep grid recomputes the reference exhaustively
+                // per access, so it defaults to check-scale geometry.
+                topts.lines = lines_arg.unwrap_or(64);
+                topts.accesses = accesses_arg.unwrap_or(30_000);
+            } else {
+                topts.lines = lines_arg.unwrap_or(topts.lines);
+                topts.accesses = accesses_arg.unwrap_or(topts.accesses);
+            }
+            topts.ways = ways_arg.unwrap_or(topts.ways);
+            topts.digest_every = digest_arg.unwrap_or(topts.digest_every);
+            topts.quota_frac = quota_frac_arg.unwrap_or(topts.quota_frac);
+            tenants(&topts, do_check, mutate_arg.as_deref());
         }
         "perf" => {
             let filter = filter_arg.as_deref().map(|pattern| {
@@ -692,6 +745,83 @@ fn check(mut copts: zbench::exp_check::CheckOpts, design: Option<&str>, policy: 
         match zbench::exp_check::shrink_repro(row, &copts, corpus_dir) {
             Ok((path, len)) => eprintln!(
                 "  wrote {len}-access repro to {} (replayed by the corpus regression test)",
+                path.display()
+            ),
+            Err(e) => eprintln!("  failed to write repro: {e}"),
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the multi-tenant sweep, or with `check` the partition lockstep
+/// grid (optionally against a production-side mutation).
+///
+/// Exit codes mirror `check`: a real divergence shrinks a `.ptrace`
+/// repro into `tests/corpus/` and exits 1; under `--mutate` the roles
+/// invert — every pair is *expected* to diverge, the first caught
+/// divergence is shrunk into the corpus (so the regression test replays
+/// the mutant forever), and an *undetected* mutant exits 1.
+fn tenants(topts: &zbench::exp_tenants::TenantOpts, check: bool, mutate: Option<&str>) {
+    let bypass = match mutate {
+        None => false,
+        Some("quota-bypass") if check => true,
+        Some("quota-bypass") => {
+            eprintln!("--mutate requires --check");
+            std::process::exit(2);
+        }
+        Some(other) => {
+            eprintln!("unknown mutation {other:?} (quota-bypass)");
+            std::process::exit(2);
+        }
+    };
+    if !check {
+        let summaries = zbench::exp_tenants::run(topts);
+        println!("{}", zbench::exp_tenants::report(&summaries, topts));
+        return;
+    }
+
+    let rows = zbench::exp_tenants::run_check(topts, bypass);
+    println!(
+        "{}",
+        zbench::exp_tenants::report_check(&rows, topts, bypass)
+    );
+    let corpus_dir = std::path::Path::new("tests/corpus");
+
+    if bypass {
+        let caught = rows.iter().filter(|r| r.result.is_err()).count();
+        if let Some(row) = rows.iter().find(|r| r.result.is_err()) {
+            eprintln!("shrinking one caught divergence into the regression corpus...");
+            match zbench::exp_tenants::shrink_check_repro(row, topts, true, corpus_dir) {
+                Ok((path, len)) => eprintln!(
+                    "  wrote {len}-access mutant repro to {} (replayed by partition_conformance)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("  failed to write repro: {e}"),
+            }
+        }
+        if caught < rows.len() {
+            eprintln!(
+                "quota-bypass mutant ESCAPED {} of {} pairs",
+                rows.len() - caught,
+                rows.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut diverged = false;
+    for row in rows.iter().filter(|r| r.result.is_err()) {
+        diverged = true;
+        eprintln!(
+            "shrinking {} divergence to a minimal repro...",
+            row.cfg.label()
+        );
+        match zbench::exp_tenants::shrink_check_repro(row, topts, false, corpus_dir) {
+            Ok((path, len)) => eprintln!(
+                "  wrote {len}-access repro to {} (replayed by partition_conformance)",
                 path.display()
             ),
             Err(e) => eprintln!("  failed to write repro: {e}"),

@@ -53,6 +53,59 @@ fn malformed_float_flags_exit_2_with_flag_and_usage() {
     assert_rejected(&["predict", "--tol", "-0.1"], "--tol");
     // Zero tolerance is finite and >= 0 but still meaningless.
     assert_rejected(&["predict", "--tol", "0"], "--tol");
+    // The tenants quota pool must be a finite non-negative fraction.
+    assert_rejected(&["tenants", "--quota-frac", "NaN"], "--quota-frac");
+    assert_rejected(&["tenants", "--quota-frac", "-0.5"], "--quota-frac");
+    assert_rejected(&["tenants", "--quota-frac", "inf"], "--quota-frac");
+}
+
+#[test]
+fn tenants_flags_are_hardened() {
+    // Integer flags route through parse_num.
+    assert_rejected(&["tenants", "--accesses", "x"], "--accesses");
+    assert_rejected(&["tenants", "--lines", "12.5"], "--lines");
+    assert_rejected(&["tenants", "--jobs", "-1"], "--jobs");
+    assert_rejected(
+        &["tenants", "--check", "--digest-every", "many"],
+        "--digest-every",
+    );
+    // --mutate is only meaningful under --check, and only knows
+    // quota-bypass.
+    let out = zbench(&["tenants", "--mutate", "quota-bypass"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("requires --check"), "{stderr}");
+    let out = zbench(&["tenants", "--check", "--mutate", "row-hammer"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown mutation"), "{stderr}");
+}
+
+#[test]
+fn tenants_sweep_runs_end_to_end() {
+    // A tiny sweep through the full CLI path: both standard mixes
+    // reported, with the per-tenant solo/shared/part columns and the
+    // Jain fairness lines present.
+    let out = zbench(&[
+        "tenants",
+        "--accesses",
+        "4000",
+        "--lines",
+        "128",
+        "--jobs",
+        "2",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("zipf-hot+scans"), "{stdout}");
+    assert!(stdout.contains("zipf-twins"), "{stdout}");
+    assert!(stdout.contains("Jain fairness"), "{stdout}");
+    assert!(stdout.contains("occ/quota"), "{stdout}");
 }
 
 #[test]

@@ -157,6 +157,24 @@ impl CandidateSet {
         }
         best.map(|(i, _)| self.items[i])
     }
+
+    /// Scores every candidate with one batched
+    /// [`score_many`](ReplacementPolicy::score_many) call into the
+    /// internal scratch vector (read it back with
+    /// [`scores`](Self::scores)). Custom victim-selection layers use
+    /// this to see exactly the score vector
+    /// [`select_with`](Self::select_with) would scan.
+    pub fn compute_scores<P: ReplacementPolicy + ?Sized>(&mut self, policy: &P) {
+        self.scores.clear();
+        policy.score_many(&self.items, &mut self.scores);
+    }
+
+    /// The score vector of the most recent
+    /// [`compute_scores`](Self::compute_scores) call, parallel to
+    /// [`as_slice`](Self::as_slice) (empty before the first call).
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
 }
 
 /// Result of installing a block, including relocation bookkeeping.

@@ -171,6 +171,122 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
         }
     }
 
+    /// Like [`access_full`](Cache::access_full), but on a miss into a
+    /// fully-occupied candidate set the victim is chosen by `select`
+    /// instead of the plain highest-score scan — the hook for QoS
+    /// layers (e.g. [`PartitionedCache`]) that veto victims by
+    /// ownership while reusing the walk, policy and install machinery
+    /// unchanged.
+    ///
+    /// `select` receives the candidates in discovery order plus the
+    /// policy score of each (higher = evict first, exactly what
+    /// [`CandidateSet::select_with`] would scan) and returns the index
+    /// of the victim. It is only consulted when every candidate frame
+    /// is occupied: an empty frame wins outright, as in `access_full`.
+    /// With `select = |_, scores| highest-score-first-wins-ties` this
+    /// method is observationally identical to `access_full`.
+    ///
+    /// [`PartitionedCache`]: crate::PartitionedCache
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select` returns an index out of range.
+    pub fn access_full_with<F>(
+        &mut self,
+        addr: LineAddr,
+        write: bool,
+        next_use: u64,
+        select: F,
+    ) -> AccessOutcome
+    where
+        F: FnOnce(&[crate::array::Candidate], &[u64]) -> usize,
+    {
+        self.stats.accesses += 1;
+        let ctx = AccessCtx { next_use };
+
+        if let Some(slot) = self.array.lookup_mut(addr) {
+            self.stats.hits += 1;
+            self.stats.tag_reads += u64::from(self.array.ways());
+            if write {
+                self.stats.data_writes += 1;
+                self.dirty[slot.idx()] = true;
+            } else {
+                self.stats.data_reads += 1;
+            }
+            self.policy.on_hit(slot, addr, &ctx);
+            return AccessOutcome::HIT;
+        }
+
+        self.stats.misses += 1;
+        // The unfused sequence `candidates_select` is pinned to:
+        // gather, prepass, then select. The custom selector slots in
+        // where the score scan would run.
+        self.array.candidates(addr, &mut self.cands);
+        self.policy.before_select(self.cands.as_slice());
+        let victim = match self.cands.first_empty() {
+            Some(c) => *c,
+            None => {
+                self.cands.compute_scores(&self.policy);
+                let idx = select(self.cands.as_slice(), self.cands.scores());
+                assert!(
+                    idx < self.cands.len(),
+                    "selector index {idx} out of range for {} candidates",
+                    self.cands.len()
+                );
+                self.cands.as_slice()[idx]
+            }
+        };
+        self.stats.candidates_examined += self.cands.len() as u64;
+        self.stats.walk_levels += u64::from(self.cands.levels);
+        self.stats.tag_reads += u64::from(self.cands.tag_reads);
+
+        if victim.addr.is_some() {
+            if let Some(m) = self.meter.as_mut() {
+                m.on_eviction(&self.array, &self.policy, victim.slot);
+            }
+        }
+
+        self.array.install(addr, &victim, &mut self.install);
+
+        // Eviction bookkeeping must read the victim's dirty bit before any
+        // relocation overwrites that frame.
+        let mut evicted_dirty = false;
+        if let (Some(_), Some(slot)) = (self.install.evicted, self.install.evicted_slot) {
+            self.stats.evictions += 1;
+            evicted_dirty = self.dirty[slot.idx()];
+            if evicted_dirty {
+                self.stats.writebacks += 1;
+                self.stats.data_reads += 1; // read the line out for the write-back
+            }
+            self.policy.on_evict(slot);
+        }
+
+        // Relocations: policy state and dirty bits follow the blocks.
+        for &(from, to) in &self.install.moves {
+            self.policy.on_move(from, to);
+            self.dirty[to.idx()] = self.dirty[from.idx()];
+        }
+        let m = self.install.moves.len() as u64;
+        self.stats.relocations += m;
+        self.stats.tag_reads += m;
+        self.stats.tag_writes += m;
+        self.stats.data_reads += m;
+        self.stats.data_writes += m;
+
+        // Fill.
+        let filled = self.install.filled_slot;
+        self.dirty[filled.idx()] = write;
+        self.stats.tag_writes += 1;
+        self.stats.data_writes += 1;
+        self.policy.on_fill(filled, addr, &ctx);
+
+        AccessOutcome {
+            hit: false,
+            evicted: self.install.evicted,
+            evicted_dirty,
+        }
+    }
+
     /// Write access that only proceeds if `addr` is resident: the hit
     /// path of [`access_full`](Cache::access_full) with `write = true`,
     /// fused with the residence check so callers draining posted
@@ -616,6 +732,50 @@ mod tests {
             assert_eq!(c.stats().accesses, 200, "{k}");
             assert!(c.occupancy() <= 64);
         }
+    }
+
+    #[test]
+    fn access_full_with_default_selector_matches_access_full() {
+        // The selector hook with the plain highest-score-first-wins
+        // choice must be observationally identical to `access_full`:
+        // same outcomes, same stats, same final state digest.
+        let mut plain = CacheBuilder::new()
+            .lines(64)
+            .ways(4)
+            .array(ArrayKind::ZCache { levels: 3 })
+            .build_lru();
+        let mut hooked = plain.clone();
+        let mut rng = zhash::SplitMix64::new(5);
+        for _ in 0..4_000 {
+            let addr = rng.next_below(160);
+            let write = rng.next_below(4) == 0;
+            let a = plain.access_full(addr, write, u64::MAX);
+            let b = hooked.access_full_with(addr, write, u64::MAX, |_, scores| {
+                let mut best = 0usize;
+                for (i, &s) in scores.iter().enumerate() {
+                    if s > scores[best] {
+                        best = i;
+                    }
+                }
+                best
+            });
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), hooked.stats());
+        assert_eq!(plain.state_digest(), hooked.state_digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn access_full_with_rejects_bad_selector_index() {
+        let mut c = CacheBuilder::new()
+            .lines(8)
+            .array(ArrayKind::Fully)
+            .build_lru();
+        for a in 0..8u64 {
+            c.access(a);
+        }
+        c.access_full_with(99, false, u64::MAX, |cands, _| cands.len());
     }
 
     #[test]

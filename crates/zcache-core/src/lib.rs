@@ -52,6 +52,7 @@ mod assoc;
 mod cache;
 mod failure;
 pub mod model;
+pub mod partition;
 mod repl;
 pub mod seeded_map;
 mod stats;
@@ -60,6 +61,9 @@ mod victim;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveZCache, ShadowDuel};
 pub use failure::PanicFailure;
+pub use partition::{
+    PartitionConfig, PartitionOutcome, PartitionedCache, TenantGrant, TenantStats,
+};
 pub use victim::VictimCache;
 
 pub use array::{

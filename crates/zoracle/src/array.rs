@@ -196,6 +196,20 @@ impl RefArray {
     /// expanding node's path and stops as soon as an empty frame turns
     /// up.
     pub fn candidates(&self, addr: u64) -> Vec<RefCand> {
+        self.candidates_capped(addr, u32::MAX)
+    }
+
+    /// [`Self::candidates`] under a walk budget: the walk stops growing
+    /// once `cap` candidates have been gathered, truncating at exactly
+    /// the points the production array's `set_max_candidates` does —
+    /// the first level always emits all `ways` frames (`cap` is clamped
+    /// up to `ways`), the outer breadth-first loop re-checks the budget
+    /// before expanding each node, and the inner per-way loop checks it
+    /// after the own-way skip but *before* the on-path check, so on-path
+    /// skips never stretch the budget. Non-walk designs ignore `cap`
+    /// (the production array's budget only gates walk expansion).
+    pub fn candidates_capped(&self, addr: u64, cap: u32) -> Vec<RefCand> {
+        let cap = cap.max(self.ways) as usize;
         match self.kind {
             RefKind::SetAssoc => {
                 let set = self.hashers[0].index(addr, self.index_bits);
@@ -265,6 +279,9 @@ impl RefArray {
                         // so the first too-deep node ends the walk.
                         break;
                     }
+                    if cands.len() >= cap {
+                        break; // walk budget exhausted
+                    }
                     let Some(block) = cands[i].addr else {
                         i += 1;
                         continue;
@@ -272,6 +289,9 @@ impl RefArray {
                     for way in 0..self.ways {
                         if way == cands[i].way {
                             continue; // the block is already at this way's row
+                        }
+                        if cands.len() >= cap {
+                            break; // budget check precedes the on-path skip
                         }
                         let slot = self.walk_slot(block, way);
                         if Self::on_path(&cands, i, slot) {

@@ -128,7 +128,7 @@ pub fn read_repro(path: &Path) -> io::Result<Repro> {
     Ok(Repro { cfg, trace, note })
 }
 
-fn parse_u64(s: &str, ln: usize) -> io::Result<u64> {
+pub(crate) fn parse_u64(s: &str, ln: usize) -> io::Result<u64> {
     let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16)
     } else {

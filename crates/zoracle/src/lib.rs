@@ -57,6 +57,7 @@ pub mod array;
 pub mod corpus;
 pub mod diff;
 pub mod oracle;
+pub mod partition;
 pub mod policy;
 pub mod shrink;
 pub mod stream;
@@ -64,6 +65,11 @@ pub mod stream;
 pub use array::RefArray;
 pub use diff::{run_diff, DiffSummary, Divergence, DivergenceKind};
 pub use oracle::OracleCache;
+pub use partition::{
+    load_part_corpus, part_check_grid, read_part_repro, run_part_diff, run_part_diff_mutated,
+    shrink_part, write_part_repro, PartAccess, PartConfig, PartDivergence, PartDivergenceKind,
+    PartMix, PartRepro, PartSummary, RefPartitionedCache,
+};
 pub use policy::RefPolicy;
 pub use shrink::shrink;
 pub use stream::{gen_stream, next_uses, Access};

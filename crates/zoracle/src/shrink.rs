@@ -38,21 +38,28 @@ pub fn shrink(cfg: &CheckConfig, trace: &[Access], digest_every: u64) -> Vec<Acc
     debug_assert!(fails(&cur), "truncation must preserve the divergence");
 
     cur = ddmin(&cur, &fails);
+    greedy_min_items(cur, &fails)
+}
 
-    if cur.len() <= GREEDY_CAP {
-        let mut changed = true;
-        while changed {
-            changed = false;
-            let mut i = 0;
-            while i < cur.len() {
-                let mut t = cur.clone();
-                t.remove(i);
-                if !t.is_empty() && fails(&t) {
-                    cur = t;
-                    changed = true;
-                } else {
-                    i += 1;
-                }
+/// The greedy 1-minimization stage, generic like [`ddmin_items`]: try
+/// deleting each remaining item one at a time until a fixpoint. Inputs
+/// longer than [`GREEDY_CAP`] are returned as-is.
+pub(crate) fn greedy_min_items<T: Clone>(mut cur: Vec<T>, fails: &dyn Fn(&[T]) -> bool) -> Vec<T> {
+    if cur.len() > GREEDY_CAP {
+        return cur;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut t = cur.clone();
+            t.remove(i);
+            if !t.is_empty() && fails(&t) {
+                cur = t;
+                changed = true;
+            } else {
+                i += 1;
             }
         }
     }
@@ -63,6 +70,13 @@ pub fn shrink(cfg: &CheckConfig, trace: &[Access], digest_every: u64) -> Vec<Acc
 /// each chunk's complement, recurse on success with adjusted
 /// granularity, double `n` otherwise.
 fn ddmin(trace: &[Access], fails: &dyn Fn(&[Access]) -> bool) -> Vec<Access> {
+    ddmin_items(trace, fails)
+}
+
+/// [`ddmin`] over any clonable item type, so trace-like sequences other
+/// than plain [`Access`] streams (e.g. the partition module's
+/// tenant-tagged accesses) reuse the same minimization.
+pub(crate) fn ddmin_items<T: Clone>(trace: &[T], fails: &dyn Fn(&[T]) -> bool) -> Vec<T> {
     let mut cur = trace.to_vec();
     let mut n = 2usize;
     while cur.len() >= 2 {

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod multi_tenant;
 pub mod profile;
 pub mod suite;
 pub mod trace_io;
@@ -40,6 +41,7 @@ pub mod ycsb;
 mod zipf;
 
 pub use gen::{Component, CoreSpec, CoreStream, MemRef, Workload, ZipfCache};
+pub use multi_tenant::{standard_mixes, TenantMix, TenantStream};
 pub use zipf::ZipfTable;
 
 /// An infinite, deterministic stream of memory references.

@@ -1,0 +1,285 @@
+//! Interleaved per-tenant reference streams for partitioned-cache
+//! experiments.
+//!
+//! A [`TenantMix`] names K tenants, each with its own [`CoreSpec`]
+//! locality recipe and an interleave weight. [`TenantMix::stream`]
+//! yields one deterministic, replayable stream of `(tenant, MemRef)`
+//! pairs: per-tenant references come from independent [`CoreStream`]s
+//! in disjoint address regions (tenants are placed like cores of a
+//! [`Workload::mix`]), and the interleave order is drawn from a
+//! separate seeded RNG — so the same seed replays byte-identically, and
+//! a tenant's subsequence is independent of how the other tenants are
+//! scheduled around it (the property that makes shared-vs-solo MPKI
+//! comparisons exact: a solo run replays the same mixed stream and
+//! simply ignores other tenants' references).
+
+use crate::gen::{Component, CoreSpec, CoreStream, MemRef, Workload, ZipfCache};
+use crate::AddressStream;
+use zhash::SplitMix64;
+
+/// A named multi-tenant workload: per-tenant locality specs plus
+/// interleave weights.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    name: String,
+    tenants: Vec<(f64, CoreSpec)>,
+}
+
+impl TenantMix {
+    /// Creates a mix from `(weight, spec)` pairs, one per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty or no weight is positive.
+    pub fn new(name: impl Into<String>, tenants: Vec<(f64, CoreSpec)>) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(
+            tenants.iter().map(|(w, _)| *w).sum::<f64>() > 0.0,
+            "tenant weights must have positive mass"
+        );
+        Self {
+            name: name.into(),
+            tenants,
+        }
+    }
+
+    /// Mix name (stable across runs; used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The spec of tenant `t`.
+    pub fn spec(&self, t: usize) -> &CoreSpec {
+        &self.tenants[t].1
+    }
+
+    /// The interleave weight of tenant `t` (quota grants in the
+    /// `zbench tenants` sweep are proportional to these).
+    pub fn weight(&self, t: usize) -> f64 {
+        self.tenants[t].0
+    }
+
+    /// Builds the deterministic interleaved stream for `seed`, reusing
+    /// Zipf tables from `cache`.
+    pub fn stream(&self, seed: u64, cache: &mut ZipfCache) -> TenantStream {
+        let specs: Vec<CoreSpec> = self.tenants.iter().map(|(_, s)| s.clone()).collect();
+        let workload = Workload::mix(self.name.clone(), specs);
+        let streams = workload.streams_cached(self.tenants.len(), seed, cache);
+        let total: f64 = self.tenants.iter().map(|(w, _)| *w).sum();
+        let mut acc = 0.0;
+        let mut cum: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|(w, _)| {
+                acc += *w / total;
+                acc
+            })
+            .collect();
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        TenantStream {
+            streams,
+            cum,
+            rng: SplitMix64::new(seed ^ 0x7e4a_917b_a5c3_0d26),
+        }
+    }
+}
+
+/// One concrete interleaved multi-tenant stream (see [`TenantMix`]).
+#[derive(Debug)]
+pub struct TenantStream {
+    streams: Vec<CoreStream>,
+    cum: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl TenantStream {
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Produces the next `(tenant, reference)` pair.
+    pub fn next_tagged(&mut self) -> (usize, MemRef) {
+        let u = self.rng.next_f64();
+        let t = self
+            .cum
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.streams.len() - 1);
+        (t, self.streams[t].next_ref())
+    }
+}
+
+/// The standard tenant mixes of the `zbench tenants` sweep, scaled to a
+/// shared cache of `lines` frames.
+///
+/// * `zipf-hot+scans` — the isolation scenario of the ROADMAP: tenant 0
+///   re-uses a Zipf-hot set sized under its quota share, while two
+///   scan-heavy neighbors stream anti-LRU patterns several times the
+///   cache size. Without partitioning the scans flush the hot set;
+///   with quotas the hot tenant's MPKI should stay near its solo run.
+/// * `zipf-twins` — two equally reuse-heavy Zipf tenants whose combined
+///   footprint overcommits the cache: the fairness scenario (neither
+///   should starve the other; Jain index near 1).
+pub fn standard_mixes(lines: u64) -> Vec<TenantMix> {
+    let l = lines.max(64);
+    vec![
+        TenantMix::new(
+            "zipf-hot+scans",
+            vec![
+                (
+                    2.0,
+                    CoreSpec::new(
+                        vec![(
+                            1.0,
+                            Component::Zipf {
+                                lines: l / 2,
+                                s: 0.9,
+                            },
+                        )],
+                        0.2,
+                        8,
+                    ),
+                ),
+                (
+                    1.0,
+                    CoreSpec::new(
+                        vec![
+                            (
+                                0.8,
+                                Component::Strided {
+                                    lines: 3 * l,
+                                    stride: 7,
+                                },
+                            ),
+                            (0.2, Component::WorkingSet { lines: l / 8 }),
+                        ],
+                        0.1,
+                        12,
+                    ),
+                ),
+                (
+                    1.0,
+                    CoreSpec::new(
+                        vec![
+                            (0.8, Component::Chase { lines: 4 * l }),
+                            (0.2, Component::WorkingSet { lines: l / 8 }),
+                        ],
+                        0.1,
+                        12,
+                    ),
+                ),
+            ],
+        ),
+        TenantMix::new(
+            "zipf-twins",
+            vec![
+                (
+                    1.0,
+                    CoreSpec::new(vec![(1.0, Component::Zipf { lines: l, s: 0.8 })], 0.25, 10),
+                ),
+                (
+                    1.0,
+                    CoreSpec::new(vec![(1.0, Component::Zipf { lines: l, s: 0.8 })], 0.25, 10),
+                ),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(lines: u64) -> CoreSpec {
+        CoreSpec::new(vec![(1.0, Component::WorkingSet { lines })], 0.0, 4)
+    }
+
+    #[test]
+    fn streams_replay_byte_identically() {
+        let mix = TenantMix::new("t", vec![(1.0, spec(128)), (2.0, spec(64))]);
+        let mut cache = ZipfCache::new();
+        let mut a = mix.stream(42, &mut cache);
+        let mut b = mix.stream(42, &mut cache);
+        for _ in 0..2_000 {
+            assert_eq!(a.next_tagged(), b.next_tagged());
+        }
+        let mut c = mix.stream(43, &mut cache);
+        let differs = (0..2_000).any(|_| a.next_tagged() != c.next_tagged());
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn tenant_subsequence_is_schedule_independent() {
+        // Tenant 0's reference subsequence must be the same whether the
+        // other tenant is scheduled around it or not: its CoreStream is
+        // private, so the mixed stream's per-tenant projection equals
+        // the solo stream. This is what makes shared-vs-solo MPKI
+        // comparisons exact.
+        let mix = TenantMix::new("t", vec![(1.0, spec(128)), (3.0, spec(64))]);
+        let mut cache = ZipfCache::new();
+        let mut mixed = mix.stream(7, &mut cache);
+        let projected: Vec<MemRef> = std::iter::from_fn(|| Some(mixed.next_tagged()))
+            .filter(|(t, _)| *t == 0)
+            .map(|(_, r)| r)
+            .take(500)
+            .collect();
+        let solo_specs: Vec<CoreSpec> = vec![mix.spec(0).clone(), mix.spec(1).clone()];
+        let w = Workload::mix("t", solo_specs);
+        let mut solo = w.streams_cached(2, 7, &mut cache).remove(0);
+        for (i, r) in projected.iter().enumerate() {
+            assert_eq!(*r, solo.next_ref(), "ref {i}");
+        }
+    }
+
+    #[test]
+    fn tenant_regions_are_disjoint() {
+        let mix = TenantMix::new("t", vec![(1.0, spec(256)), (1.0, spec(256))]);
+        let mut cache = ZipfCache::new();
+        let mut s = mix.stream(3, &mut cache);
+        let mut seen: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 2];
+        for _ in 0..4_000 {
+            let (t, r) = s.next_tagged();
+            seen[t].insert(r.line);
+        }
+        assert!(seen[0].is_disjoint(&seen[1]), "tenant regions overlap");
+    }
+
+    #[test]
+    fn weights_bias_the_interleave() {
+        let mix = TenantMix::new("t", vec![(3.0, spec(16)), (1.0, spec(16))]);
+        let mut cache = ZipfCache::new();
+        let mut s = mix.stream(5, &mut cache);
+        let t0 = (0..10_000).filter(|_| s.next_tagged().0 == 0).count();
+        assert!((7_000..8_000).contains(&t0), "weight-3 tenant drew {t0}");
+    }
+
+    #[test]
+    fn standard_mixes_are_well_formed() {
+        for mix in standard_mixes(1 << 10) {
+            assert!(mix.tenant_count() >= 2, "{}", mix.name());
+            let mut cache = ZipfCache::new();
+            let mut s = mix.stream(1, &mut cache);
+            let mut counts = vec![0u64; mix.tenant_count()];
+            for _ in 0..5_000 {
+                let (t, r) = s.next_tagged();
+                counts[t] += 1;
+                assert!(r.gap >= 1);
+            }
+            assert!(counts.iter().all(|&c| c > 0), "{}: idle tenant", mix.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_mix_panics() {
+        TenantMix::new("e", vec![]);
+    }
+}
