@@ -68,5 +68,28 @@ fn bench_walks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walks);
+/// Candidates-only cost per lineup design (`z2`/`z3`/`z4` — the rows
+/// BENCH_access.json pins): a full array, so every walk runs to its
+/// configured depth with no empty-frame early stop. This isolates the
+/// level-batched expansion from selection and install; run it before
+/// and after touching `ZArray::walk_core`/`expand4` (the CI bench-smoke
+/// job runs this group on every push).
+fn bench_walk_lineup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk-lineup");
+    for (name, levels) in [("z2", 2u32), ("z3", 3), ("z4", 4)] {
+        group.bench_function(format!("{name}-candidates"), |b| {
+            let mut z = full_zarray(levels, WalkKind::Bfs);
+            let mut cands = CandidateSet::new();
+            let mut probe = 0u64;
+            b.iter(|| {
+                probe = probe.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z.candidates(black_box(probe), &mut cands);
+                cands.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks, bench_walk_lineup);
 criterion_main!(benches);

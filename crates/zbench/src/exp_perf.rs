@@ -233,6 +233,159 @@ pub fn run_filtered(opts: &PerfOpts, filter: Option<&RowFilter>) -> Vec<PerfRow>
     rows
 }
 
+/// Deepest walk in the design lineup (`z4` = 4 levels); sizes the
+/// profile's level histogram.
+const PROFILE_MAX_LEVELS: usize = 4;
+
+/// One `--profile walks` row: the per-miss walk-shape distribution of a
+/// (design × policy) pair over the pinned reference stream.
+///
+/// Everything here is a deterministic count — no wall clock — so the
+/// report is byte-stable across runs and machines and needs no reps.
+#[derive(Debug, Clone)]
+pub struct WalkProfileRow {
+    /// Design name (see `designs()`).
+    pub design: &'static str,
+    /// Policy name (see `policies()`).
+    pub policy: &'static str,
+    /// Misses profiled (= walks performed).
+    pub misses: u64,
+    /// `level_hist[l]` = misses whose walk touched exactly `l + 1`
+    /// levels of the tree.
+    pub level_hist: [u64; PROFILE_MAX_LEVELS],
+    /// Tag reads per miss (walk reads only, relocations excluded),
+    /// as (min, median, max) plus the exact total for the mean.
+    pub tag_reads_min: u64,
+    /// Median walk tag reads.
+    pub tag_reads_p50: u64,
+    /// Largest single walk.
+    pub tag_reads_max: u64,
+    /// Total walk tag reads (for the mean).
+    pub tag_reads_total: u64,
+    /// Total candidates gathered (the effective associativity numerator).
+    pub candidates_total: u64,
+}
+
+/// Runs the `--profile walks` measurement: replays the same pinned
+/// stream as [`run_filtered`] and classifies every miss by its
+/// [`zcache_core::WalkStats`]-tracked shape, recovered access-by-access
+/// from the cache's cumulative counters (walk reads = tag-read delta
+/// minus relocation delta, exactly how `Cache::access_full` folds them
+/// in).
+pub fn run_walk_profile(opts: &PerfOpts, filter: Option<&RowFilter>) -> Vec<WalkProfileRow> {
+    let refs = gen_refs(opts.warmup + opts.accesses, opts.seed);
+    let (warm, timed) = refs.split_at(opts.warmup);
+    let mut rows = Vec::new();
+    let mut walk_reads: Vec<u64> = Vec::new();
+    for (dname, kind, lines) in designs() {
+        for (pname, policy) in policies() {
+            if filter.is_some_and(|f| !f.matches(dname, pname)) {
+                continue;
+            }
+            let mut cache = CacheBuilder::new()
+                .lines(lines)
+                .ways(4)
+                .array(kind)
+                .policy(policy)
+                .seed(opts.seed)
+                .build();
+            for &(a, w) in warm {
+                black_box(cache.access_full(a, w, u64::MAX));
+            }
+            cache.reset_stats();
+            let mut row = WalkProfileRow {
+                design: dname,
+                policy: pname,
+                misses: 0,
+                level_hist: [0; PROFILE_MAX_LEVELS],
+                tag_reads_min: u64::MAX,
+                tag_reads_p50: 0,
+                tag_reads_max: 0,
+                tag_reads_total: 0,
+                candidates_total: 0,
+            };
+            walk_reads.clear();
+            let mut prev = cache.stats().clone();
+            for &(a, w) in timed {
+                cache.access_full(a, w, u64::MAX);
+                let cur = cache.stats().clone();
+                if cur.misses > prev.misses {
+                    let levels = (cur.walk_levels - prev.walk_levels) as usize;
+                    let reads =
+                        (cur.tag_reads - prev.tag_reads) - (cur.relocations - prev.relocations);
+                    row.level_hist[levels.clamp(1, PROFILE_MAX_LEVELS) - 1] += 1;
+                    row.misses += 1;
+                    row.tag_reads_min = row.tag_reads_min.min(reads);
+                    row.tag_reads_max = row.tag_reads_max.max(reads);
+                    row.tag_reads_total += reads;
+                    row.candidates_total += cur.candidates_examined - prev.candidates_examined;
+                    walk_reads.push(reads);
+                }
+                prev = cur;
+            }
+            if row.misses == 0 {
+                row.tag_reads_min = 0;
+            } else {
+                walk_reads.sort_unstable();
+                row.tag_reads_p50 = walk_reads[walk_reads.len() / 2];
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Formats the walk profile as a deterministic table.
+pub fn report_walk_profile(rows: &[WalkProfileRow], opts: &PerfOpts) -> String {
+    let mut out = format!(
+        "Walk profile (per-miss, fixed-seed Zipf stream, seed {}, {} accesses; \
+         counts only — byte-stable across runs)\n\n",
+        opts.seed, opts.accesses
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let m = r.misses.max(1) as f64;
+            let mut cols = vec![
+                r.design.to_string(),
+                r.policy.to_string(),
+                r.misses.to_string(),
+                format!("{:.2}", r.candidates_total as f64 / m),
+            ];
+            for l in 0..PROFILE_MAX_LEVELS {
+                cols.push(if r.level_hist[l] == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.1}%", 100.0 * r.level_hist[l] as f64 / m)
+                });
+            }
+            cols.push(format!(
+                "{}/{}/{:.1}/{}",
+                r.tag_reads_min,
+                r.tag_reads_p50,
+                r.tag_reads_total as f64 / m,
+                r.tag_reads_max
+            ));
+            cols
+        })
+        .collect();
+    out.push_str(&crate::format_table(
+        &[
+            "design",
+            "policy",
+            "misses",
+            "cands/miss",
+            "lvl1",
+            "lvl2",
+            "lvl3",
+            "lvl4",
+            "tagreads min/p50/mean/max",
+        ],
+        &table,
+    ));
+    out
+}
+
 /// Formats the rows as a table with baseline comparison.
 pub fn report(rows: &[PerfRow]) -> String {
     let mut out = String::from("Access-path throughput (accesses/sec, fixed-seed Zipf stream)\n\n");

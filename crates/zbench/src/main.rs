@@ -95,7 +95,7 @@ const USAGE: &str = "usage: zbench <table1|table2|fig2|fig3|fig4|fig5|bandwidth|
                      [--cores N] [--instrs N] [--workloads N] [--policy lru|lfu|opt] [--seed N] \
                      [--jobs N] [--accesses N] [--design NAME] [--lines N] [--ways N] \
                      [--digest-every N] [--quota-frac F] [--check] [--mutate NAME] [--smoke] \
-                     [--reps N] [--sim] [--filter D:P] [--out FILE] \
+                     [--reps N] [--sim] [--filter D:P] [--profile walks] [--out FILE] \
                      [--chaos] [--workload a|b|c|d] [--ops N] [--zipf-s S] [--read-prop P] \
                      [--update-prop P] [--insert-prop P] [--sizes N,N,...] [--tol T] [--validate]";
 
@@ -145,6 +145,7 @@ fn main() {
     let mut workload_arg: Option<String> = None;
     let mut ops_arg: Option<u64> = None;
     let mut filter_arg: Option<String> = None;
+    let mut profile_arg: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut tuning = ServeTuning::default();
     let mut sizes_arg: Option<Vec<u64>> = None;
@@ -270,6 +271,16 @@ fn main() {
             }
             "--filter" => {
                 filter_arg = Some(take("--filter"));
+                i += 2;
+            }
+            "--profile" => {
+                let v = take("--profile");
+                if v != "walks" {
+                    eprintln!("--profile: unknown profile {v:?} (expected \"walks\")");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+                profile_arg = Some(v);
                 i += 2;
             }
             "--reps" => {
@@ -492,10 +503,42 @@ fn main() {
         "perf" => {
             let filter = filter_arg.as_deref().map(|pattern| {
                 zbench::exp_perf::RowFilter::parse(pattern).unwrap_or_else(|| {
-                    eprintln!("malformed --filter {pattern:?} (expected design:policy)");
+                    eprintln!("--filter: malformed pattern {pattern:?} (expected design:policy)");
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 })
             });
+            if let Some(p) = &profile_arg {
+                if sim {
+                    eprintln!(
+                        "--profile {p} profiles the access path; it cannot combine with --sim"
+                    );
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+                let mut popts = if smoke {
+                    zbench::exp_perf::PerfOpts::smoke()
+                } else {
+                    zbench::exp_perf::PerfOpts::default()
+                };
+                popts.seed = opts.seed;
+                if let Some(n) = accesses_arg {
+                    popts.accesses = n;
+                    popts.warmup = n / 4;
+                }
+                let rows = zbench::exp_perf::run_walk_profile(&popts, filter.as_ref());
+                if rows.is_empty() {
+                    eprintln!(
+                        "--filter matched no rows (designs: sa-h3, skew, z2, z3, z4, fully; \
+                         policies: lru, bucketed-lru, lfu)"
+                    );
+                    std::process::exit(2);
+                }
+                // Counts only — deliberately no BENCH json: a profile run
+                // must never overwrite the pinned throughput artifact.
+                println!("{}", zbench::exp_perf::report_walk_profile(&rows, &popts));
+                return;
+            }
             if sim {
                 let mut sopts = if smoke {
                     zbench::exp_perf::SimPerfOpts::smoke()

@@ -109,6 +109,63 @@ fn tenants_sweep_runs_end_to_end() {
 }
 
 #[test]
+fn perf_profile_flag_is_hardened() {
+    // Unknown profile kinds die in the flag loop, before any measurement
+    // (or BENCH artifact write) can start.
+    assert_rejected(&["perf", "--profile", "cachegrind"], "--profile");
+    assert_rejected(&["perf", "--profile", "Walks"], "--profile");
+    assert_rejected(&["perf", "--profile", ""], "--profile");
+    // The profile reads the access path; there is no --sim variant.
+    assert_rejected(&["perf", "--sim", "--profile", "walks"], "--profile");
+}
+
+#[test]
+fn perf_profile_walks_is_deterministic() {
+    let run = || {
+        let out = zbench(&[
+            "perf",
+            "--profile",
+            "walks",
+            "--smoke",
+            "--filter",
+            "z3:lru",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let a = run();
+    let stdout = String::from_utf8_lossy(&a);
+    // Counts, not clocks: the header says so and the rows carry the
+    // per-level breakdown.
+    assert!(stdout.contains("Walk profile"), "{stdout}");
+    assert!(stdout.contains("lvl3"), "{stdout}");
+    assert!(stdout.contains("z3"), "{stdout}");
+    // A profile run must never touch the pinned BENCH artifact, so its
+    // stdout has no "wrote" line.
+    assert!(!stdout.contains("wrote"), "{stdout}");
+    // Byte-stable across runs.
+    assert_eq!(a, run());
+}
+
+#[test]
+fn perf_filter_rejects_malformed_patterns() {
+    // More than one ':' cannot name a design:policy pair — both the
+    // access and the --sim paths reject it with the usage line.
+    assert_rejected(&["perf", "--filter", "z3:lru:extra"], "--filter");
+    assert_rejected(&["perf", "--sim", "--filter", "a:b:c"], "--filter");
+    // Well-formed but matching nothing is also a hard error (exit 2).
+    let out = zbench(&["perf", "--smoke", "--filter", "nosuch:lru"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("matched no rows"), "{stderr}");
+}
+
+#[test]
 fn flags_missing_values_exit_2() {
     let out = zbench(&["serve", "--zipf-s"]);
     assert_eq!(out.status.code(), Some(2));

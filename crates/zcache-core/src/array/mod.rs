@@ -112,6 +112,30 @@ impl CandidateSet {
         self.items.reserve(n);
     }
 
+    /// Bulk-mirrors a finished walk table into the (cleared) set: one
+    /// sized `extend` instead of per-item [`push`](Self::push) calls,
+    /// with `first_empty` supplied by the walker — which knows exactly
+    /// where the first empty frame landed (among the roots, or as the
+    /// early-stopping last node) without rescanning.
+    pub(crate) fn extend_from_nodes(&mut self, nodes: &[walk::WalkNode], first_empty: u32) {
+        debug_assert!(self.items.is_empty(), "mirror expects a cleared set");
+        self.items
+            .extend(nodes.iter().enumerate().map(|(i, n)| Candidate {
+                slot: n.slot,
+                addr: n.addr_opt(),
+                token: i as u32,
+            }));
+        self.first_empty = first_empty;
+        debug_assert_eq!(
+            first_empty,
+            self.items
+                .iter()
+                .position(|c| c.addr.is_none())
+                .map_or(u32::MAX, |i| i as u32),
+            "walker-supplied first_empty must match a rescan"
+        );
+    }
+
     /// The candidates gathered so far.
     pub fn as_slice(&self) -> &[Candidate] {
         &self.items
@@ -291,6 +315,24 @@ pub trait CacheArray {
             .expect("candidate sets are never empty")
     }
 
+    /// Issues best-effort memory-system hints for the tag frames a
+    /// subsequent [`lookup`](Self::lookup) of `addr` would probe.
+    ///
+    /// Purely a prefetch: no array state changes, no statistics move,
+    /// and the result of the later lookup is unaffected, so callers may
+    /// hint speculatively and arbitrarily far ahead. The default does
+    /// nothing; only arrays whose probe set is a pure function of the
+    /// address (no per-call state, no recomputation worth hiding)
+    /// override it — [`SetAssocArray`] hints its one indexed set, which
+    /// is how the execution-driven simulator overlaps independent
+    /// per-core L1 tag reads across a batched dispatch group. The walk
+    /// designs deliberately keep the no-op default: their row vector
+    /// costs real hash work that [`lookup_mut`](Self::lookup_mut)
+    /// memoizes instead, and recomputing it in a hint was measured
+    /// slower than the fetches it hides (see the walk-prefetch ablation
+    /// in EXPERIMENTS.md).
+    fn prefetch_lookup(&self, _addr: LineAddr) {}
+
     /// Installs `addr`, vacating `victim` (a candidate returned by the
     /// immediately preceding `candidates` call for the same address).
     ///
@@ -444,6 +486,10 @@ impl CacheArray for AnyArray {
     #[inline]
     fn addr_at(&self, slot: SlotId) -> Option<LineAddr> {
         delegate!(self, a => a.addr_at(slot))
+    }
+    #[inline]
+    fn prefetch_lookup(&self, addr: LineAddr) {
+        delegate!(self, a => a.prefetch_lookup(addr))
     }
     #[inline]
     fn candidates(&mut self, addr: LineAddr, out: &mut CandidateSet) {

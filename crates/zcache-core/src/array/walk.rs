@@ -117,6 +117,12 @@ pub(crate) struct WalkTable {
     pub path: Vec<u32>,
     /// Reusable DFS work stack (empty outside a DFS walk).
     pub stack: Vec<u32>,
+    /// Ancestor slots (one per level) of the node currently being
+    /// expanded. Filled once per expanded node, then scanned per child —
+    /// replacing the per-child parent-pointer chase through the node
+    /// table with a linear membership pass over a buffer that is at most
+    /// `levels` entries long.
+    pub ancestors: Vec<SlotId>,
 }
 
 impl WalkTable {
@@ -132,6 +138,23 @@ impl WalkTable {
         self.nodes.reserve(candidates);
         self.path.reserve(candidates);
         self.stack.reserve(candidates);
+        self.ancestors.reserve(candidates);
+    }
+
+    /// Fills [`ancestors`](Self::ancestors) with the slots on the path
+    /// from `node` up to its root (inclusive) — one entry per level, in
+    /// chase order (the dedup scan only tests membership).
+    pub fn fill_ancestors(&mut self, node: u32) {
+        self.ancestors.clear();
+        let mut i = node;
+        loop {
+            let n = &self.nodes[i as usize];
+            self.ancestors.push(n.slot);
+            if n.parent == NO_PARENT {
+                break;
+            }
+            i = n.parent;
+        }
     }
 
     /// Fills [`path`](Self::path) with the node indices from `node` to

@@ -3,6 +3,7 @@
 use super::tags::INVALID_TAG;
 use super::walk::{WalkKind, WalkNode, WalkTable, NO_PARENT};
 use super::{CacheArray, Candidate, CandidateSet, InstallOutcome};
+use crate::prefetch::prefetch_read;
 use crate::types::{LineAddr, Location, SlotId};
 use zhash::{AnyHasher, BloomFilter, HashKind, Hasher64};
 
@@ -85,6 +86,12 @@ const EMPTY_FRAME: Frame = Frame {
     tag: INVALID_TAG,
     rows: [0; FRAME_WAYS],
 };
+
+/// Deepest walk the [`ZArray::expand4`] fast path handles: its ancestor
+/// path lives in a fixed stack array of this many slots. Deeper walks
+/// (never used by the paper's designs) take the general [`ZArray::expand`]
+/// path.
+const EXPAND4_MAX_LEVELS: usize = 8;
 
 /// Public view of one walk-tree node (see [`ZArray::walk_node`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,15 +301,21 @@ impl ZArray {
         self.row_bits <= u16::BITS
     }
 
-    /// Expands `node_idx`, pushing children onto the walk table and
-    /// mirroring them into `out`. Returns `true` if an empty frame was
-    /// found (callers stop the walk: a free frame is a perfect victim).
-    fn expand(&mut self, node_idx: u32, out: &mut CandidateSet) -> bool {
+    /// Expands `node_idx`, pushing children onto the walk table (the
+    /// caller mirrors the finished table into its [`CandidateSet`] in
+    /// one dense pass). Returns `true` if an empty frame was found
+    /// (callers stop the walk: a free frame is a perfect victim).
+    fn expand(&mut self, node_idx: u32) -> bool {
         let node = self.walk.nodes[node_idx as usize];
         let baddr = node.addr;
         if baddr == INVALID_TAG {
             return false; // empty frames have no block to rehash
         }
+        // Level-indexed ancestor slots, filled once per expanded node: a
+        // per-child chase through the parent pointers would re-read the
+        // node table `W−1` times per expansion; this buffer costs one
+        // chase and each child scans at most `levels` contiguous slots.
+        self.walk.fill_ancestors(node_idx);
         let mut found_empty = false;
         let mut pushed = 0u32;
         // The resident block's row vector was cached next to its tag at
@@ -326,25 +339,12 @@ impl ZArray {
             let slot = self.slot(way, row);
             // A slot already on this path would make the relocation chain
             // touch the same frame twice; skip it (repeats across sibling
-            // branches remain allowed, as in the paper). Inline ancestor
-            // scan: paths are at most `levels` deep.
-            let on_path = {
-                let mut i = node_idx;
-                loop {
-                    let n = &self.walk.nodes[i as usize];
-                    if n.slot == slot {
-                        break true;
-                    }
-                    if n.parent == NO_PARENT {
-                        break false;
-                    }
-                    i = n.parent;
-                }
-            };
+            // branches remain allowed, as in the paper).
+            let on_path = self.walk.ancestors.contains(&slot);
             debug_assert_eq!(
                 on_path,
                 self.walk.slot_on_path(node_idx, slot),
-                "inline path scan must agree with the reference"
+                "ancestor-buffer scan must agree with the reference"
             );
             if on_path {
                 self.walk.stats.path_dups_skipped += 1;
@@ -366,14 +366,8 @@ impl ZArray {
                 way: way as u8,
                 level: node.level + 1,
             };
-            let token = self.walk.nodes.len() as u32;
             self.walk.nodes.push(child);
             pushed += 1;
-            out.push(Candidate {
-                slot,
-                addr: (addr != INVALID_TAG).then_some(addr),
-                token,
-            });
             if addr == INVALID_TAG {
                 found_empty = true;
                 break;
@@ -382,6 +376,112 @@ impl ZArray {
         if pushed > 0 {
             // All children sit one level below the parent; fold the stats
             // once per expansion instead of once per child.
+            self.walk.stats.tag_reads += pushed;
+            let child_level = u32::from(node.level) + 1;
+            self.walk.stats.levels = self.walk.stats.levels.max(child_level + 1);
+        }
+        found_empty
+    }
+
+    /// Issues read prefetches for every child frame that expanding the
+    /// walk nodes in `lo..hi` will touch. Purely a hint: no stats, no
+    /// state, no reads that can fault (rows come from the parents' own
+    /// frame records, which the walk has already read).
+    #[inline]
+    fn prefetch_children(&self, lo: usize, hi: usize) {
+        for i in lo..hi {
+            let node = self.walk.nodes[i];
+            if node.addr == INVALID_TAG {
+                continue;
+            }
+            let rows = self.frames[node.slot.idx()].rows;
+            for (way, &row) in rows.iter().enumerate().take(self.ways as usize) {
+                if way != usize::from(node.way) {
+                    let slot = self.slot(way as u32, u64::from(row));
+                    prefetch_read(&self.frames[slot.idx()]);
+                }
+            }
+        }
+    }
+
+    /// [`expand`](Self::expand) specialized for the common 4-way shape
+    /// with cached rows, no Bloom filter, and at least three candidates
+    /// of headroom under the cap (the caller checks): all three child
+    /// slots are computed and their tags loaded *before* the per-child
+    /// bookkeeping, so the three independent (prefetched) tag reads
+    /// overlap instead of serializing behind the dedup/push branches.
+    /// Child order, dedup decisions, stats, and the empty-frame early
+    /// stop are bit-identical to the scalar loop.
+    fn expand4(&mut self, node_idx: u32) -> bool {
+        let node = self.walk.nodes[node_idx as usize];
+        if node.addr == INVALID_TAG {
+            return false; // empty frames have no block to rehash
+        }
+        // Ancestor slots in a stack array (the caller guarantees the
+        // walk is at most `EXPAND4_MAX_LEVELS` deep): one chase per
+        // parent, and the per-child dedup scan below touches registers
+        // and the stack, never the heap.
+        let mut path = [u32::MAX; EXPAND4_MAX_LEVELS];
+        let depth = {
+            let mut d = 0usize;
+            let mut i = node_idx;
+            loop {
+                let n = &self.walk.nodes[i as usize];
+                path[d] = n.slot.0;
+                d += 1;
+                if n.parent == NO_PARENT {
+                    break;
+                }
+                i = n.parent;
+            }
+            d
+        };
+        let rows = self.frames[node.slot.idx()].rows;
+        let mut slots = [SlotId(0); FRAME_WAYS];
+        for (w, s) in slots.iter_mut().enumerate() {
+            *s = self.slot(w as u32, u64::from(rows[w]));
+        }
+        // Independent loads, issued together; reading the parent's own
+        // way too is free (that line is already warm) and keeps the
+        // array indexing branch-free.
+        let tags = slots.map(|s| self.frames[s.idx()].tag);
+        let pway = usize::from(node.way);
+        let mut found_empty = false;
+        let mut pushed = 0u32;
+        for way in 0..FRAME_WAYS {
+            if way == pway {
+                continue;
+            }
+            let slot = slots[way];
+            debug_assert_eq!(
+                u64::from(slot.0) % self.rows,
+                self.row_of(node.addr, way as u32)
+            );
+            let on_path = path[..depth].contains(&slot.0);
+            debug_assert_eq!(
+                on_path,
+                self.walk.slot_on_path(node_idx, slot),
+                "ancestor-buffer scan must agree with the reference"
+            );
+            if on_path {
+                self.walk.stats.path_dups_skipped += 1;
+                continue;
+            }
+            let addr = tags[way];
+            self.walk.nodes.push(WalkNode {
+                addr,
+                slot,
+                parent: node_idx,
+                way: way as u8,
+                level: node.level + 1,
+            });
+            pushed += 1;
+            if addr == INVALID_TAG {
+                found_empty = true;
+                break;
+            }
+        }
+        if pushed > 0 {
             self.walk.stats.tag_reads += pushed;
             let child_level = u32::from(node.level) + 1;
             self.walk.stats.levels = self.walk.stats.levels.max(child_level + 1);
@@ -404,6 +504,11 @@ impl ZArray {
         // reads — and, on the access path, the rows the preceding
         // `lookup_mut` already hashed and stashed).
         let probed = (self.ways == 4 && self.probe.0 == addr).then_some(self.probe.1);
+        // Index of the first empty-frame node, tracked while walking so
+        // the mirror pass below never rescans: an empty frame is either
+        // among the roots (the walk then goes no deeper) or the early-
+        // stopping last node an expansion pushed.
+        let mut first_empty_idx = u32::MAX;
         let mut found_empty = false;
         for way in 0..self.ways {
             let row = match probed {
@@ -413,7 +518,6 @@ impl ZArray {
             debug_assert_eq!(row, self.row_of(addr, way), "stale probe memo");
             let slot = self.slot(way, row);
             let a = self.frames[slot.idx()].tag;
-            let token = self.walk.nodes.len() as u32;
             self.walk.nodes.push(WalkNode {
                 addr: a,
                 slot,
@@ -422,12 +526,10 @@ impl ZArray {
                 level: 0,
             });
             self.walk.stats.tag_reads += 1;
-            out.push(Candidate {
-                slot,
-                addr: (a != INVALID_TAG).then_some(a),
-                token,
-            });
             if a == INVALID_TAG {
+                if !found_empty {
+                    first_empty_idx = self.walk.nodes.len() as u32 - 1;
+                }
                 found_empty = true;
             } else if let Some(b) = self.bloom.as_mut() {
                 b.insert(a);
@@ -438,22 +540,84 @@ impl ZArray {
         if !found_empty && self.levels > 1 {
             match self.walk_kind {
                 WalkKind::Bfs => {
-                    // Expand in insertion order, level by level, stopping at
-                    // the configured depth, the candidate cap, or the first
-                    // empty frame.
-                    let mut next = 0u32;
-                    'walk: while next < self.walk.nodes.len() as u32 {
-                        let node = &self.walk.nodes[next as usize];
-                        if u32::from(node.level) + 1 >= self.levels {
+                    // Level-batched expansion: the frontier is contiguous
+                    // in the walk table (insertion order is BFS order), so
+                    // each iteration takes one whole level, gathers the
+                    // child frames the level will read, and expands node
+                    // by node with the exact per-node semantics of the
+                    // scalar loop (depth and cap checks, empty-frame
+                    // early stop).
+                    //
+                    // Under `walk-prefetch` (an off-by-default ablation
+                    // knob), child-frame prefetches run one *block* of
+                    // parents ahead of the expansion, not one whole
+                    // level: a level can be 100+ parents wide, and a
+                    // burst of hundreds of prefetches overruns the
+                    // handful of hardware fill buffers (measured slower
+                    // on Z4/160); a block keeps roughly `3·PF_BLOCK`
+                    // lines in flight. The feature is off by default
+                    // because even the blocked form measures slower than
+                    // the batched expander alone — every frame a level
+                    // expands is already warm from the tag read that
+                    // discovered it (tag and row vector share the
+                    // 16-byte record), so the hints only add issue
+                    // pressure. See EXPERIMENTS.md "Walk cost".
+                    const PF_BLOCK: usize = 8;
+                    let prefetchable = cfg!(feature = "walk-prefetch")
+                        && self.rows_cacheable()
+                        && self.ways as usize <= FRAME_WAYS;
+                    let fast4 = self.ways as usize == FRAME_WAYS
+                        && self.rows_cacheable()
+                        && self.bloom.is_none()
+                        && self.levels as usize <= EXPAND4_MAX_LEVELS;
+                    let mut level_start = 0usize;
+                    'walk: loop {
+                        let level_end = self.walk.nodes.len();
+                        if level_start == level_end {
+                            break; // previous level expanded to nothing
+                        }
+                        // All nodes in a level share its depth.
+                        if u32::from(self.walk.nodes[level_start].level) + 1 >= self.levels {
                             break;
                         }
-                        if self.walk.nodes.len() as u32 >= self.max_candidates {
-                            break;
+                        if prefetchable {
+                            self.prefetch_children(
+                                level_start,
+                                (level_start + PF_BLOCK).min(level_end),
+                            );
                         }
-                        if self.expand(next, out) {
-                            break 'walk;
+                        let mut block = level_start;
+                        while block < level_end {
+                            let block_end = (block + PF_BLOCK).min(level_end);
+                            if prefetchable {
+                                self.prefetch_children(
+                                    block_end,
+                                    (block_end + PF_BLOCK).min(level_end),
+                                );
+                            }
+                            for i in block..block_end {
+                                let len = self.walk.nodes.len() as u32;
+                                if len >= self.max_candidates {
+                                    break 'walk;
+                                }
+                                // `expand4` needs full headroom under the
+                                // cap (it never checks mid-parent); a
+                                // parent that could hit the cap takes the
+                                // scalar path, whose per-child check
+                                // matches it exactly.
+                                let empty = if fast4 && len + 3 <= self.max_candidates {
+                                    self.expand4(i as u32)
+                                } else {
+                                    self.expand(i as u32)
+                                };
+                                if empty {
+                                    first_empty_idx = self.walk.nodes.len() as u32 - 1;
+                                    break 'walk;
+                                }
+                            }
+                            block = block_end;
                         }
-                        next += 1;
+                        level_start = level_end;
                     }
                 }
                 WalkKind::Dfs => {
@@ -477,7 +641,8 @@ impl ZArray {
                             break;
                         }
                         let before = self.walk.nodes.len() as u32;
-                        if self.expand(idx, out) {
+                        if self.expand(idx) {
+                            first_empty_idx = self.walk.nodes.len() as u32 - 1;
                             break;
                         }
                         // Push new children so the most recent is expanded
@@ -493,6 +658,13 @@ impl ZArray {
         }
 
         self.walk.stats.candidates = self.walk.nodes.len() as u32;
+
+        // Mirror the finished walk table into the caller's candidate set
+        // in one dense pass. Token `i` is the node's table index, exactly
+        // as interleaved pushes would have produced; deferring it keeps
+        // the expansion loop free of the second (24-byte-per-node) write
+        // stream.
+        out.extend_from_nodes(&self.walk.nodes, first_empty_idx);
         out.levels = self.walk.stats.levels;
         out.tag_reads = self.walk.stats.tag_reads;
     }
@@ -650,8 +822,19 @@ impl CacheArray for ZArray {
             rows: [0; FRAME_WAYS],
         };
         if self.rows_cacheable() {
-            for way in 0..self.ways.min(FRAME_WAYS as u32) {
-                root.rows[way as usize] = self.row_of(addr, way) as u16;
+            if self.ways == 4 && self.probe.0 == addr {
+                // The lookup that missed (and the walk after it) already
+                // hashed this address; its row vector is still in the
+                // probe memo — an address's rows never change, so the
+                // memo cannot be stale.
+                for (way, &row) in self.probe.1.iter().enumerate() {
+                    debug_assert_eq!(u64::from(row), self.row_of(addr, way as u32));
+                    root.rows[way] = row as u16;
+                }
+            } else {
+                for way in 0..self.ways.min(FRAME_WAYS as u32) {
+                    root.rows[way as usize] = self.row_of(addr, way) as u16;
+                }
             }
         }
         self.frames[root_slot.idx()] = root;

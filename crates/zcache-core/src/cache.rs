@@ -344,6 +344,15 @@ impl<A: CacheArray, P: ReplacementPolicy> Cache<A, P> {
         self.stats = CacheStats::new();
     }
 
+    /// Hints the memory system to pull in the tag frames a future
+    /// [`access`](Self::access) of `addr` would probe (see
+    /// [`CacheArray::prefetch_lookup`]). No state or statistics change;
+    /// callers may hint speculatively.
+    #[inline]
+    pub fn prefetch_lookup(&self, addr: LineAddr) {
+        self.array.prefetch_lookup(addr);
+    }
+
     /// The underlying array.
     pub fn array(&self) -> &A {
         &self.array

@@ -43,7 +43,10 @@
 //! println!("miss rate: {:.3}", zcache.stats().miss_rate());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the scoped
+// `#[allow]` around the `prefetcht0` hint in [`prefetch`], which cannot
+// affect memory safety (prefetch is architecturally a no-op hint).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
@@ -53,6 +56,7 @@ mod cache;
 mod failure;
 pub mod model;
 pub mod partition;
+pub mod prefetch;
 mod repl;
 pub mod seeded_map;
 mod stats;
@@ -64,6 +68,7 @@ pub use failure::PanicFailure;
 pub use partition::{
     PartitionConfig, PartitionOutcome, PartitionedCache, TenantGrant, TenantStats,
 };
+pub use prefetch::prefetch_read;
 pub use victim::VictimCache;
 
 pub use array::{

@@ -10,7 +10,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use zcache_core::{CacheArray, CandidateSet, InstallOutcome, WalkKind, ZArray};
+use zcache_core::{
+    CacheArray, CandidateSet, InstallOutcome, PartitionConfig, PartitionedCache, PolicyKind,
+    TenantGrant, WalkKind, ZArray,
+};
 
 struct CountingAlloc;
 
@@ -80,5 +83,52 @@ fn dfs_install_path_is_allocation_free() {
     assert_steady(
         ZArray::new(1 << 10, 4, 3, 7).with_walk_kind(WalkKind::Dfs),
         "Z4/52 DFS",
+    );
+}
+
+/// The multi-tenant wrapper layers quota-aware victim selection (a
+/// closure over the candidate/score slices) and per-tenant bookkeeping
+/// on top of the walk; none of it may allocate once the shared array's
+/// buffers — including the walk table's ancestor buffer the batched
+/// expansion scans — reach steady-state capacity.
+#[test]
+fn partitioned_access_path_is_allocation_free() {
+    let cfg = PartitionConfig::new(
+        1 << 10,
+        4,
+        3,
+        PolicyKind::Lru,
+        7,
+        vec![
+            TenantGrant {
+                quota: 600,
+                walk_budget: u32::MAX,
+            },
+            TenantGrant {
+                quota: 300,
+                // A capped walk exercises the scalar-tail path next to
+                // the expand4 fast path.
+                walk_budget: 20,
+            },
+        ],
+    );
+    let mut part = PartitionedCache::new(&cfg);
+    let drive = |part: &mut PartitionedCache, lo: u64, steps: u64| {
+        for a in lo..lo + steps {
+            // Both tenants miss, walk under different budgets, and evict
+            // across quota boundaries; every third access is a write.
+            part.access(0, a, a % 3 == 0);
+            part.access(1, a ^ 0x5a5a, false);
+        }
+    };
+    drive(&mut part, 0, 4_000);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    drive(&mut part, 1_000_000, 2_000);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "partitioned steady-state access path allocated {} time(s)",
+        after - before
     );
 }

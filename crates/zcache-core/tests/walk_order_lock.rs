@@ -1,0 +1,196 @@
+//! Candidate-order regression lock for the replacement walk.
+//!
+//! The level-batched walk (and its `expand4` fast path) must be
+//! *semantics-invisible*: the exact candidate sequence — slot, resident
+//! address and token of every node, in emission order — decides which
+//! victim every policy picks, so any reordering silently changes every
+//! downstream figure. This test drives a mixed hit/miss/install stream
+//! from fixed seeds through each walk shape (both `expand4`-eligible
+//! and scalar-fallback configurations, BFS and DFS, Bloom on and off,
+//! capped and uncapped) and folds every candidate the array ever emits
+//! into a digest that is pinned here.
+//!
+//! The pinned values were produced by the pre-batching scalar walker;
+//! the batched walker must reproduce them bit for bit. If an
+//! intentional semantic change ever invalidates them, re-pin alongside
+//! the goldens of `zbench check` — never to silence a diff.
+
+use zcache_core::{CacheArray, CandidateSet, InstallOutcome, WalkKind, ZArray};
+use zhash::SplitMix64;
+
+/// FNV-1a over every field of every candidate, plus per-walk framing so
+/// sequence boundaries (and empty walks) are part of the digest.
+fn fold(digest: &mut u64, v: u64) {
+    *digest = (*digest ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+struct Shape {
+    name: &'static str,
+    ways: u32,
+    levels: u32,
+    kind: WalkKind,
+    bloom: bool,
+    max_candidates: Option<u32>,
+}
+
+const SHAPES: &[Shape] = &[
+    // The expand4 fast path: 4 ways, cached rows, no Bloom.
+    Shape {
+        name: "z2",
+        ways: 4,
+        levels: 2,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: None,
+    },
+    Shape {
+        name: "z3",
+        ways: 4,
+        levels: 3,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: None,
+    },
+    Shape {
+        name: "z4",
+        ways: 4,
+        levels: 4,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: None,
+    },
+    // A cap forces the tail of each level through the scalar loop
+    // (expand4 needs 3 slots of headroom) and exercises mid-level stops.
+    Shape {
+        name: "z4-cap100",
+        ways: 4,
+        levels: 4,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: Some(100),
+    },
+    Shape {
+        name: "z3-cap5",
+        ways: 4,
+        levels: 3,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: Some(5),
+    },
+    // Bloom dedup disables expand4 entirely.
+    Shape {
+        name: "z3-bloom",
+        ways: 4,
+        levels: 3,
+        kind: WalkKind::Bfs,
+        bloom: true,
+        max_candidates: None,
+    },
+    // Non-4-way shapes: the scalar loop with and without cached rows.
+    Shape {
+        name: "w3-l3",
+        ways: 3,
+        levels: 3,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: None,
+    },
+    Shape {
+        name: "w5-l2",
+        ways: 5,
+        levels: 2,
+        kind: WalkKind::Bfs,
+        bloom: false,
+        max_candidates: None,
+    },
+    // DFS is untouched by the batching but shares expand().
+    Shape {
+        name: "z3-dfs",
+        ways: 4,
+        levels: 3,
+        kind: WalkKind::Dfs,
+        bloom: false,
+        max_candidates: None,
+    },
+];
+
+/// Pinned digests, one per shape, produced by the scalar reference
+/// walker (pre-batching) over the exact stream below.
+const EXPECTED: &[(&str, u64)] = &[
+    ("z2", 0xc0e7caa4e7d7bf55),
+    ("z3", 0xc5db6a9c4e6a7b31),
+    ("z4", 0x164c71444cf8b60f),
+    ("z4-cap100", 0xbcb23c69f907cb7b),
+    ("z3-cap5", 0x692c96e119faf020),
+    ("z3-bloom", 0x1f7e76ed23c50960),
+    ("w3-l3", 0xe79724cfe4990729),
+    ("w5-l2", 0xdfe589ad6227e1b5),
+    ("z3-dfs", 0x34019c0ca1e51e76),
+];
+
+fn digest_shape(shape: &Shape) -> u64 {
+    let lines = 1024 * u64::from(shape.ways);
+    let mut z = ZArray::new(lines, shape.ways, shape.levels, 11).with_walk_kind(shape.kind);
+    if shape.bloom {
+        z = z.with_bloom_dedup(true);
+    }
+    if let Some(cap) = shape.max_candidates {
+        z = z.with_max_candidates(cap);
+    }
+    let mut cands = CandidateSet::new();
+    let mut out = InstallOutcome::default();
+    let mut rng = SplitMix64::new(7);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    // Cold start through full occupancy and into steady-state churn, so
+    // empty-frame early stops, partial walks and full walks all appear.
+    for _ in 0..30_000 {
+        let a = rng.next_below(lines * 3) + 1;
+        if z.lookup_mut(a).is_some() {
+            continue;
+        }
+        z.candidates(a, &mut cands);
+        fold(&mut digest, 0x5eed); // walk frame marker
+        fold(&mut digest, cands.len() as u64);
+        for c in cands.as_slice() {
+            fold(&mut digest, c.slot.0.into());
+            fold(&mut digest, c.addr.unwrap_or(u64::MAX));
+            fold(&mut digest, c.token.into());
+        }
+        // Install the oldest-token victim (first empty if any) so the
+        // stream keeps relocating blocks and the walk tree keeps
+        // changing shape.
+        let victim = *cands.first_empty().unwrap_or_else(|| &cands.as_slice()[0]);
+        z.install(a, &victim, &mut out);
+        for &(from, to) in out.moves.as_slice() {
+            fold(&mut digest, u64::from(from.0) << 32 | u64::from(to.0));
+        }
+    }
+    digest
+}
+
+#[test]
+fn candidate_order_is_locked() {
+    for shape in SHAPES {
+        let got = digest_shape(shape);
+        let want = EXPECTED
+            .iter()
+            .find(|(n, _)| n == &shape.name)
+            .map(|&(_, d)| d)
+            .unwrap_or_else(|| panic!("no pinned digest for {}", shape.name));
+        assert_eq!(
+            got, want,
+            "candidate order changed for {} (got {got:#018x}, pinned {want:#018x})",
+            shape.name
+        );
+    }
+}
+
+/// Prints the digests for re-pinning after an *intentional* semantic
+/// change: `cargo test -p zcache-core --test walk_order_lock -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_digests() {
+    for shape in SHAPES {
+        println!("    (\"{}\", {:#018x}),", shape.name, digest_shape(shape));
+    }
+}
